@@ -1,0 +1,557 @@
+//! The collapsed hashed trie underlying an approximate reconciliation
+//! tree.
+//!
+//! Nodes live in an arena (`Vec`-indexed) — no `Rc`/`RefCell`, no
+//! recursion-depth hazards on adversarial inputs. The tree supports both
+//! batch construction (`from_keys`, O(n log n)) and incremental insertion
+//! (`insert`, O(depth)), the latter being what a peer uses as symbols
+//! arrive mid-transfer.
+
+use icd_util::hash::hash64;
+
+/// Protocol-level parameters shared by all peers building comparable
+/// trees. Like the min-wise permutation family, these are "fixed
+/// universally off-line": two trees are only comparable if their params
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtParams {
+    /// Seed for the position hash (tree balancing, §5.3's first hash).
+    pub position_seed: u64,
+    /// Seed for the value hash (spatial decorrelation, §5.3's second
+    /// hash into `[1, h)`).
+    pub value_seed: u64,
+}
+
+impl Default for ArtParams {
+    fn default() -> Self {
+        Self {
+            position_seed: 0x4152_545F_504F_5331, // "ART_POS1"
+            value_seed: 0x4152_545F_5641_4C31,    // "ART_VAL1"
+        }
+    }
+}
+
+impl ArtParams {
+    /// Position of a key: a uniform 64-bit string; the trie is built on
+    /// its bits, most-significant first.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, key: u64) -> u64 {
+        hash64(key, self.position_seed)
+    }
+
+    /// Value of a key: the per-element hash whose XORs label tree nodes.
+    /// Zero is remapped so values lie in `[1, 2^64)` per the paper (an
+    /// all-zero XOR would then only arise from genuinely empty content or
+    /// an even multiset, never from a single element).
+    #[inline]
+    #[must_use]
+    pub fn value(&self, key: u64) -> u64 {
+        let v = hash64(key, self.value_seed);
+        if v == 0 {
+            1
+        } else {
+            v
+        }
+    }
+}
+
+/// Arena index of a node.
+pub(crate) type NodeId = u32;
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    /// A leaf holds exactly one position (w.h.p. one key; collisions in
+    /// the 64-bit position space would share a leaf, preserving
+    /// correctness of node values).
+    Leaf {
+        value: u64,
+        position: u64,
+        keys: Vec<u64>,
+    },
+    /// An internal node splits on `bit` (0 = MSB): left subtree has the
+    /// bit clear, right subtree set. `value` is the XOR of both children.
+    Internal {
+        value: u64,
+        bit: u32,
+        left: NodeId,
+        right: NodeId,
+    },
+}
+
+impl Node {
+    #[inline]
+    pub(crate) fn value(&self) -> u64 {
+        match self {
+            Node::Leaf { value, .. } | Node::Internal { value, .. } => *value,
+        }
+    }
+}
+
+/// A peer's reconciliation tree over its working-set keys.
+#[derive(Debug, Clone)]
+pub struct ReconciliationTree {
+    params: ArtParams,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    len: usize,
+}
+
+impl ReconciliationTree {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new(params: ArtParams) -> Self {
+        Self {
+            params,
+            nodes: Vec::new(),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Builds a tree over `keys` (duplicates are ignored).
+    #[must_use]
+    pub fn from_keys<I: IntoIterator<Item = u64>>(params: ArtParams, keys: I) -> Self {
+        let mut items: Vec<(u64, u64)> = keys
+            .into_iter()
+            .map(|k| (params.position(k), k))
+            .collect();
+        items.sort_unstable();
+        items.dedup_by_key(|(p, k)| (*p, *k));
+        // Drop duplicate keys (same position AND key).
+        let mut tree = Self::new(params);
+        if items.is_empty() {
+            return tree;
+        }
+        tree.len = items.len();
+        let root = tree.build_range(&items, 0);
+        tree.root = Some(root);
+        tree
+    }
+
+    /// Recursive batch construction over a position-sorted slice.
+    /// `depth` is the next bit to examine (0 = MSB). Single-child chains
+    /// are collapsed by advancing `depth` without creating nodes.
+    fn build_range(&mut self, items: &[(u64, u64)], mut depth: u32) -> NodeId {
+        debug_assert!(!items.is_empty());
+        // All same position → leaf (holds all colliding keys).
+        if items.first().map(|(p, _)| p) == items.last().map(|(p, _)| p) {
+            let position = items[0].0;
+            let keys: Vec<u64> = items.iter().map(|&(_, k)| k).collect();
+            let value = keys
+                .iter()
+                .fold(0u64, |acc, &k| acc ^ self.params.value(k));
+            return self.push(Node::Leaf {
+                value,
+                position,
+                keys,
+            });
+        }
+        // Find the first bit where the slice splits (collapse equal
+        // prefixes). Positions differ, so a split bit must exist.
+        loop {
+            debug_assert!(depth < 64, "identical positions cannot reach depth 64");
+            let mask = 1u64 << (63 - depth);
+            let first_set = items[0].0 & mask != 0;
+            let last_set = items[items.len() - 1].0 & mask != 0;
+            if first_set == last_set {
+                depth += 1;
+                continue;
+            }
+            // Sorted by position ⇒ split point is where the bit flips.
+            let split = items.partition_point(|&(p, _)| p & mask == 0);
+            let left = self.build_range(&items[..split], depth + 1);
+            let right = self.build_range(&items[split..], depth + 1);
+            let value = self.nodes[left as usize].value() ^ self.nodes[right as usize].value();
+            return self.push(Node::Internal {
+                value,
+                bit: depth,
+                left,
+                right,
+            });
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = u32::try_from(self.nodes.len()).expect("tree exceeds u32 arena");
+        self.nodes.push(node);
+        id
+    }
+
+    /// Inserts one key incrementally in O(depth): descends to the
+    /// insertion point, splices a new internal node if needed, and XORs
+    /// the new value into every node along the path.
+    ///
+    /// Returns `false` (and changes nothing) if the key was already
+    /// present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let position = self.params.position(key);
+        let value = self.params.value(key);
+        let Some(root) = self.root else {
+            let id = self.push(Node::Leaf {
+                value,
+                position,
+                keys: vec![key],
+            });
+            self.root = Some(id);
+            self.len = 1;
+            return true;
+        };
+        // Descend, recording the path for the value update.
+        let mut path: Vec<NodeId> = Vec::new();
+        let mut cur = root;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Internal { bit, left, right, .. } => {
+                    let (bit, left, right) = (*bit, *left, *right);
+                    // If the new position diverges from this subtree's
+                    // common prefix *above* this split bit, splice here.
+                    if let Some(diverge) = self.diverge_bit(cur, position, bit) {
+                        self.splice(cur, &path, position, value, key, diverge);
+                        return true;
+                    }
+                    path.push(cur);
+                    cur = if position & (1u64 << (63 - bit)) == 0 {
+                        left
+                    } else {
+                        right
+                    };
+                }
+                Node::Leaf {
+                    position: leaf_pos,
+                    keys,
+                    ..
+                } => {
+                    let leaf_pos = *leaf_pos;
+                    if leaf_pos == position {
+                        if keys.contains(&key) {
+                            return false; // duplicate
+                        }
+                        // 64-bit position collision: extend this leaf.
+                        if let Node::Leaf { value: v, keys, .. } = &mut self.nodes[cur as usize] {
+                            *v ^= value;
+                            keys.push(key);
+                        }
+                        for id in path {
+                            self.xor_value(id, value);
+                        }
+                        self.len += 1;
+                        return true;
+                    }
+                    // Split at the first differing bit between positions.
+                    let diverge = (leaf_pos ^ position).leading_zeros();
+                    self.splice(cur, &path, position, value, key, diverge);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// First bit `< limit` where `position` leaves the prefix shared by
+    /// subtree `node` — detected by comparing against any position in the
+    /// subtree (all share the prefix above the node's split bit).
+    fn diverge_bit(&self, node: NodeId, position: u64, limit: u32) -> Option<u32> {
+        let sample = self.sample_position(node);
+        let diff = sample ^ position;
+        if diff == 0 {
+            return None;
+        }
+        let bit = diff.leading_zeros();
+        if bit < limit {
+            Some(bit)
+        } else {
+            None
+        }
+    }
+
+    /// Any position stored beneath `node` (leftmost descent).
+    fn sample_position(&self, mut node: NodeId) -> u64 {
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { position, .. } => return *position,
+                Node::Internal { left, .. } => node = *left,
+            }
+        }
+    }
+
+    /// Splices a new internal node above `at`, separating the existing
+    /// subtree from a fresh leaf for `key` at bit `diverge`, then updates
+    /// values up `path`.
+    fn splice(
+        &mut self,
+        at: NodeId,
+        path: &[NodeId],
+        position: u64,
+        value: u64,
+        key: u64,
+        diverge: u32,
+    ) {
+        let leaf = self.push(Node::Leaf {
+            value,
+            position,
+            keys: vec![key],
+        });
+        // Move the existing node out to a new slot; `at` becomes the new
+        // internal node so parent links stay valid.
+        let old = self.nodes[at as usize].clone();
+        let old_value = old.value();
+        let moved = self.push(old);
+        let new_bit_set = position & (1u64 << (63 - diverge)) != 0;
+        let (left, right) = if new_bit_set { (moved, leaf) } else { (leaf, moved) };
+        self.nodes[at as usize] = Node::Internal {
+            value: old_value ^ value,
+            bit: diverge,
+            left,
+            right,
+        };
+        for &id in path {
+            self.xor_value(id, value);
+        }
+        self.len += 1;
+    }
+
+    fn xor_value(&mut self, id: NodeId, delta: u64) {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf { value, .. } | Node::Internal { value, .. } => *value ^= delta,
+        }
+    }
+
+    /// Number of distinct keys in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The parameters this tree was built with.
+    #[must_use]
+    pub fn params(&self) -> ArtParams {
+        self.params
+    }
+
+    /// Root value — equal for two trees iff they hold identical sets
+    /// (up to the negligible XOR-collision probability). This is the O(1)
+    /// "are we identical?" test.
+    #[must_use]
+    pub fn root_value(&self) -> Option<u64> {
+        self.root.map(|r| self.nodes[r as usize].value())
+    }
+
+    pub(crate) fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Total number of arena nodes (internal + leaves); includes nodes
+    /// orphaned by splices, so this is a capacity metric, not a tree
+    /// invariant.
+    #[must_use]
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Visits every live node value, distinguishing internal from leaf —
+    /// the input to summary construction.
+    pub(crate) fn visit_values<F: FnMut(u64, bool)>(&self, mut f: F) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize] {
+                Node::Leaf { value, .. } => f(*value, true),
+                Node::Internal { value, left, right, .. } => {
+                    f(*value, false);
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+    }
+
+    /// Maximum root-to-leaf depth (collapsed) — O(log n) w.h.p.; exposed
+    /// for tests and the speed analysis.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn depth_of(tree: &ReconciliationTree, id: NodeId) -> usize {
+            match tree.node(id) {
+                Node::Leaf { .. } => 1,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(tree, *left).max(depth_of(tree, *right))
+                }
+            }
+        }
+        self.root.map_or(0, |r| depth_of(self, r))
+    }
+
+    /// Counts live (reachable) nodes: `(internal, leaves)`.
+    #[must_use]
+    pub fn live_nodes(&self) -> (usize, usize) {
+        let mut internal = 0;
+        let mut leaves = 0;
+        self.visit_values(|_, is_leaf| {
+            if is_leaf {
+                leaves += 1;
+            } else {
+                internal += 1;
+            }
+        });
+        (internal, leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = ReconciliationTree::new(ArtParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.root_value(), None);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn single_key() {
+        let params = ArtParams::default();
+        let t = ReconciliationTree::from_keys(params, [42u64]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.root_value(), Some(params.value(42)));
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn root_value_is_xor_of_element_values() {
+        let params = ArtParams::default();
+        let ks = keys(500, 1);
+        let t = ReconciliationTree::from_keys(params, ks.iter().copied());
+        let expect = ks.iter().fold(0u64, |acc, &k| acc ^ params.value(k));
+        assert_eq!(t.root_value(), Some(expect));
+    }
+
+    #[test]
+    fn identical_sets_identical_roots() {
+        let params = ArtParams::default();
+        let ks = keys(300, 2);
+        let a = ReconciliationTree::from_keys(params, ks.iter().copied());
+        let mut shuffled = ks.clone();
+        Xoshiro256StarStar::new(9).shuffle(&mut shuffled);
+        let b = ReconciliationTree::from_keys(params, shuffled);
+        assert_eq!(a.root_value(), b.root_value());
+    }
+
+    #[test]
+    fn different_sets_different_roots() {
+        let params = ArtParams::default();
+        let ks = keys(300, 3);
+        let a = ReconciliationTree::from_keys(params, ks.iter().copied());
+        let b = ReconciliationTree::from_keys(params, ks[..299].iter().copied());
+        assert_ne!(a.root_value(), b.root_value());
+    }
+
+    #[test]
+    fn duplicates_ignored_in_batch() {
+        let params = ArtParams::default();
+        let mut ks = keys(100, 4);
+        ks.extend(keys(100, 4)); // same again
+        let t = ReconciliationTree::from_keys(params, ks);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let params = ArtParams::default();
+        let ks = keys(1000, 5);
+        let batch = ReconciliationTree::from_keys(params, ks.iter().copied());
+        let mut inc = ReconciliationTree::new(params);
+        for &k in &ks {
+            assert!(inc.insert(k));
+        }
+        assert_eq!(inc.len(), batch.len());
+        assert_eq!(inc.root_value(), batch.root_value());
+        // The full multiset of (value, is_leaf) node labels must agree —
+        // the summaries depend on exactly this.
+        let collect = |t: &ReconciliationTree| {
+            let mut v: Vec<(u64, bool)> = Vec::new();
+            t.visit_values(|val, leaf| v.push((val, leaf)));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(&inc), collect(&batch));
+    }
+
+    #[test]
+    fn incremental_duplicate_rejected() {
+        let params = ArtParams::default();
+        let mut t = ReconciliationTree::new(params);
+        assert!(t.insert(7));
+        assert!(!t.insert(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_insert_preserves_equivalence() {
+        // Insert in two different interleavings; trees must agree.
+        let params = ArtParams::default();
+        let ks = keys(200, 6);
+        let mut a = ReconciliationTree::new(params);
+        let mut b = ReconciliationTree::new(params);
+        for &k in &ks {
+            a.insert(k);
+        }
+        for &k in ks.iter().rev() {
+            b.insert(k);
+        }
+        assert_eq!(a.root_value(), b.root_value());
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let params = ArtParams::default();
+        for n in [100usize, 1000, 10_000] {
+            let t = ReconciliationTree::from_keys(params, keys(n, 7));
+            let bound = 4 * (n as f64).log2().ceil() as usize + 8;
+            assert!(
+                t.depth() <= bound,
+                "depth {} exceeds O(log n) bound {bound} at n={n}",
+                t.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn live_node_counts() {
+        let params = ArtParams::default();
+        let n = 1000;
+        let t = ReconciliationTree::from_keys(params, keys(n, 8));
+        let (internal, leaves) = t.live_nodes();
+        assert_eq!(leaves, n, "one leaf per key (64-bit positions)");
+        assert_eq!(internal, n - 1, "binary tree with n leaves");
+    }
+
+    #[test]
+    fn subset_relation_visible_in_values() {
+        // Removing one key changes the root by exactly that key's value.
+        let params = ArtParams::default();
+        let ks = keys(50, 10);
+        let full = ReconciliationTree::from_keys(params, ks.iter().copied());
+        let partial = ReconciliationTree::from_keys(params, ks[1..].iter().copied());
+        assert_eq!(
+            full.root_value().unwrap() ^ partial.root_value().unwrap(),
+            params.value(ks[0])
+        );
+    }
+}

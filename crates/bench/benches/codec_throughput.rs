@@ -1,0 +1,39 @@
+//! Fountain codec throughput on paper-size blocks (1400 B): encode
+//! symbols/s and full decode of a 1 MB object.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icd_fountain::{DecodeStatus, Decoder, Encoder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let content: Vec<u8> = (0..1_000_000).map(|i| (i % 251) as u8).collect();
+    let encoder = Encoder::for_content(&content, 1400, 5);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(1400 * 100));
+    group.bench_function("encode_100_symbols_1400B", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            for _ in 0..100 {
+                id = id.wrapping_add(1);
+                black_box(encoder.symbol(id));
+            }
+        });
+    });
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(content.len() as u64));
+    group.bench_function("decode_1MB", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(encoder.spec().clone());
+            for sym in encoder.stream(9) {
+                if matches!(dec.receive(&sym), DecodeStatus::Complete) {
+                    break;
+                }
+            }
+            black_box(dec.reception_overhead())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

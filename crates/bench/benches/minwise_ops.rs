@@ -1,0 +1,37 @@
+//! Min-wise sketch micro-benchmarks: incremental update cost (per §4,
+//! constant work per received symbol) and sketch comparison.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use icd_sketch::{MinwiseSketch, PermutationFamily};
+use icd_util::rng::{Rng64, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let family = PermutationFamily::standard(3);
+    let mut rng = Xoshiro256StarStar::new(2);
+    let keys: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+
+    let mut group = c.benchmark_group("minwise");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("insert_1k_keys_128perms", |b| {
+        b.iter_batched(
+            || MinwiseSketch::new(&family),
+            |mut s| {
+                for &k in &keys {
+                    s.insert(&family, k);
+                }
+                black_box(s)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let a = MinwiseSketch::from_keys(&family, keys.iter().copied());
+    let b2 = MinwiseSketch::from_keys(&family, keys.iter().map(|k| k ^ 1));
+    group.bench_function("resemblance_128perms", |b| {
+        b.iter(|| black_box(a.resemblance(&b2)))
+    });
+    group.bench_function("union_128perms", |b| b.iter(|| black_box(a.union(&b2))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Recoding throughput: generation under each degree policy and
+//! receiver-side substitution.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, Recoder};
+use icd_util::rng::Xoshiro256StarStar;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let symbols: Vec<EncodedSymbol> = (0..5000u64)
+        .map(|i| EncodedSymbol {
+            id: i * 977,
+            payload: bytes::Bytes::from(vec![(i % 251) as u8; 1400]),
+        })
+        .collect();
+    let mut group = c.benchmark_group("recode");
+    group.throughput(Throughput::Elements(100));
+    for (name, policy) in [
+        ("oblivious", RecodePolicy::Oblivious),
+        ("minwise_c80", RecodePolicy::MinwiseScaled { containment: 0.8 }),
+        ("lower_bounded_c80", RecodePolicy::LowerBounded { containment: 0.8 }),
+    ] {
+        let recoder = Recoder::new(symbols.clone(), 50, policy);
+        group.bench_function(format!("generate_100_{name}"), |b| {
+            let mut rng = Xoshiro256StarStar::new(11);
+            b.iter(|| {
+                for _ in 0..100 {
+                    black_box(recoder.generate(&mut rng));
+                }
+            });
+        });
+    }
+    // Substitution: receiver knows half, receives 100 recoded symbols.
+    let recoder = Recoder::new(symbols.clone(), 50, RecodePolicy::Oblivious);
+    let mut rng = Xoshiro256StarStar::new(12);
+    let stream: Vec<_> = (0..100).map(|_| recoder.generate(&mut rng)).collect();
+    group.bench_function("substitute_100", |b| {
+        b.iter(|| {
+            let mut buf = RecodeBuffer::new();
+            for s in &symbols[..2500] {
+                buf.add_known(s);
+            }
+            let mut recovered = 0usize;
+            for rec in &stream {
+                recovered += buf.receive(rec).len();
+            }
+            black_box(recovered)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 4(c)'s speed column: Bloom O(n) probing vs ART O(d log n)
+//! search, plus the interpolation-search claim from §4.
+use criterion::{criterion_group, criterion_main, Criterion};
+use icd_art::{search_differences, ArtParams, ArtSummary, ReconciliationTree, SummaryParams};
+use icd_bloom::BloomFilter;
+use icd_util::rng::{Rng64, Xoshiro256StarStar};
+use icd_util::search::interpolation_contains;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000usize;
+    let d = 100usize;
+    let mut rng = Xoshiro256StarStar::new(13);
+    let shared: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let mut b_keys = shared.clone();
+    b_keys.extend((0..d).map(|_| rng.next_u64()));
+
+    let mut filter = BloomFilter::with_bits_per_element(n, 8.0, 1);
+    for &k in &shared {
+        filter.insert(k);
+    }
+    let params = ArtParams::default();
+    let tree_a = ReconciliationTree::from_keys(params, shared.iter().copied());
+    let tree_b = ReconciliationTree::from_keys(params, b_keys.iter().copied());
+    let summary = ArtSummary::build(&tree_a, SummaryParams::standard());
+
+    let mut group = c.benchmark_group("recon_speed");
+    group.sample_size(20);
+    group.bench_function("bloom_scan_50k", |b| {
+        b.iter(|| b_keys.iter().filter(|&&k| !filter.contains(k)).count())
+    });
+    group.bench_function("art_search_d100_of_50k", |b| {
+        b.iter(|| black_box(search_differences(&tree_b, &summary).missing_at_peer.len()))
+    });
+    // §4: interpolation vs binary search on sorted random keys.
+    let mut sorted = shared.clone();
+    sorted.sort_unstable();
+    let probes: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+    group.bench_function("interpolation_search_10k", |b| {
+        b.iter(|| probes.iter().filter(|&&p| interpolation_contains(&sorted, p)).count())
+    });
+    group.bench_function("binary_search_10k", |b| {
+        b.iter(|| probes.iter().filter(|&&p| sorted.binary_search(&p).is_ok()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **Bloom filter sizing** — how Random/BF's overhead and stall risk
+//!    respond to the bits-per-element budget (the §5.2 knob): smaller
+//!    filters are cheaper on the wire but withhold more useful symbols.
+//! 2. **Recoding degree cap** — the paper fixes 50 "primarily to keep
+//!    the listing of identifiers short"; this sweep shows what the cap
+//!    costs/buys in transfer overhead.
+//! 3. **Degree policy** — Oblivious vs MinwiseScaled vs LowerBounded
+//!    (the §5.4.2 rule) at a high-correlation operating point.
+
+use icd_bench::output::{emit, f3, Table};
+use icd_bench::ExpConfig;
+use icd_overlay::receiver::Receiver;
+use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
+use icd_overlay::strategy::{Packet, ReceiverHandshake, Sender, StrategyKind};
+use icd_overlay::transfer::default_max_ticks;
+use icd_sketch::PermutationFamily;
+use icd_util::rng::Xoshiro256StarStar;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    emit(&filter_bits_sweep(&cfg), "ablation_filter_bits");
+    emit(&degree_cap_sweep(&cfg), "ablation_degree_cap");
+    emit(&degree_policy_compare(&cfg), "ablation_degree_policy");
+}
+
+/// Ablation 1: Random/BF at varying filter budgets.
+fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
+    let params = ScenarioParams::compact(cfg.num_blocks, cfg.base_seed);
+    let scenario = TwoPeerScenario::build(&params, 0.3);
+    let family = PermutationFamily::standard(0x1CD);
+    let mut table = Table::new(
+        format!(
+            "Ablation: Random/BF vs filter budget (compact, n={}, c=0.30)",
+            cfg.num_blocks
+        ),
+        &["bits/elem", "filter_bytes", "overhead", "withheld", "completed"],
+    );
+    for bpe in [1.0, 2.0, 4.0, 8.0, 12.0, 16.0] {
+        let handshake = ReceiverHandshake::for_strategy(
+            StrategyKind::RandomBloom,
+            &scenario.receiver_set,
+            bpe,
+            &family,
+        );
+        let filter_bytes = handshake.filter.as_ref().map_or(0, |f| f.wire_size());
+        let mut sender = Sender::new(
+            StrategyKind::RandomBloom,
+            scenario.sender_set.clone(),
+            &handshake,
+            &family,
+            cfg.base_seed ^ 1,
+            scenario.needed(),
+        );
+        // Useful symbols the filter wrongly withheld from the sender.
+        let useful_total = scenario
+            .sender_set
+            .iter()
+            .filter(|id| !scenario.receiver_set.contains(id))
+            .count();
+        let withheld = useful_total.saturating_sub(sender.candidate_count());
+        let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+        let mut packets = 0u64;
+        let max = default_max_ticks(scenario.target);
+        while !receiver.is_complete() && packets < max {
+            match sender.next_packet() {
+                Some(p) => {
+                    packets += 1;
+                    receiver.receive(&p);
+                }
+                None => break,
+            }
+        }
+        table.push_row(vec![
+            format!("{bpe}"),
+            format!("{filter_bytes}"),
+            f3(packets as f64 / scenario.needed() as f64),
+            format!("{withheld}"),
+            format!("{}", receiver.is_complete()),
+        ]);
+    }
+    table
+}
+
+/// Ablation 2: Recode/BF at varying degree caps.
+fn degree_cap_sweep(cfg: &ExpConfig) -> Table {
+    let params = ScenarioParams::compact(cfg.num_blocks, cfg.base_seed);
+    let scenario = TwoPeerScenario::build(&params, 0.2);
+    let mut table = Table::new(
+        format!(
+            "Ablation: recoding degree cap (compact, n={}, c=0.20, paper cap=50)",
+            cfg.num_blocks
+        ),
+        &["cap", "overhead", "max_header_bytes", "completed"],
+    );
+    for cap in [2usize, 5, 10, 25, 50, 100, 200] {
+        let (overhead, completed) = run_recode_with_cap(&scenario, cap, cfg.base_seed ^ 2);
+        table.push_row(vec![
+            format!("{cap}"),
+            f3(overhead),
+            format!("{}", 2 + 8 * cap),
+            format!("{completed}"),
+        ]);
+    }
+    table
+}
+
+/// Runs a Recode/BF-style transfer with an explicit degree cap.
+fn run_recode_with_cap(scenario: &TwoPeerScenario, cap: usize, seed: u64) -> (f64, bool) {
+    use bytes::Bytes;
+    use icd_fountain::{EncodedSymbol, RecodePolicy, Recoder};
+    let receiver_set: std::collections::HashSet<u64> =
+        scenario.receiver_set.iter().copied().collect();
+    let candidates: Vec<EncodedSymbol> = scenario
+        .sender_set
+        .iter()
+        .filter(|id| !receiver_set.contains(id))
+        .map(|&id| EncodedSymbol {
+            id,
+            payload: Bytes::new(),
+        })
+        .collect();
+    let recoder = Recoder::new(candidates, cap, RecodePolicy::Oblivious);
+    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut packets = 0u64;
+    let max = default_max_ticks(scenario.target);
+    while !receiver.is_complete() && packets < max {
+        packets += 1;
+        let rec = recoder.generate(&mut rng);
+        receiver.receive(&Packet::Recoded(rec.components));
+    }
+    (
+        packets as f64 / scenario.needed() as f64,
+        receiver.is_complete(),
+    )
+}
+
+/// Ablation 3: the three degree policies head to head at c = 0.4.
+fn degree_policy_compare(cfg: &ExpConfig) -> Table {
+    use bytes::Bytes;
+    use icd_fountain::{EncodedSymbol, RecodePolicy, Recoder};
+    let params = ScenarioParams::compact(cfg.num_blocks, cfg.base_seed);
+    let scenario = TwoPeerScenario::build(&params, 0.4);
+    let symbols: Vec<EncodedSymbol> = scenario
+        .sender_set
+        .iter()
+        .map(|&id| EncodedSymbol {
+            id,
+            payload: Bytes::new(),
+        })
+        .collect();
+    let c = scenario.correlation;
+    let mut table = Table::new(
+        format!(
+            "Ablation: §5.4.2 degree policies over the full working set (compact, n={}, c={:.2})",
+            cfg.num_blocks, c
+        ),
+        &["policy", "overhead", "completed"],
+    );
+    for (name, policy) in [
+        ("oblivious", RecodePolicy::Oblivious),
+        ("minwise-scaled", RecodePolicy::MinwiseScaled { containment: c }),
+        ("lower-bounded", RecodePolicy::LowerBounded { containment: c }),
+    ] {
+        let recoder = Recoder::new(symbols.clone(), 50, policy);
+        let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+        let mut rng = Xoshiro256StarStar::new(cfg.base_seed ^ 3);
+        let mut packets = 0u64;
+        let max = default_max_ticks(scenario.target);
+        while !receiver.is_complete() && packets < max {
+            packets += 1;
+            let rec = recoder.generate(&mut rng);
+            receiver.receive(&Packet::Recoded(rec.components));
+        }
+        table.push_row(vec![
+            name.to_string(),
+            f3(packets as f64 / scenario.needed() as f64),
+            format!("{}", receiver.is_complete()),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §5.2 Bloom false-positive calibration points.
+use icd_bench::experiments::calibration;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&calibration::bloom_fp_table(&cfg), "bloom_fp_table");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §6.1 coding-parameters table (degree, overhead).
+use icd_bench::experiments::calibration;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&calibration::coding_table(&cfg), "coding_table");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4(a): ART accuracy vs leaf-filter bit share.
+use icd_bench::experiments::art_accuracy;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&art_accuracy::fig4a(&cfg), "fig4a");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §5.1 exact-vs-approximate reconciliation cost table.
+use icd_bench::experiments::calibration;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&calibration::recon_cost_table(&cfg), "recon_cost_table");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4(b): ART accuracy across budgets and corrections.
+use icd_bench::experiments::art_accuracy;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&art_accuracy::table4b(&cfg), "table4b");
+}

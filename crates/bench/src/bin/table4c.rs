@@ -1,0 +1,8 @@
+//! Regenerates Table 4(c): Bloom filter vs ART at 8 bits/element.
+use icd_bench::experiments::art_accuracy;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&art_accuracy::table4c(&cfg), "table4c");
+}

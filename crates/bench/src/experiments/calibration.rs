@@ -1,0 +1,95 @@
+//! Calibration tables: Bloom false positives (§5.2), coding parameters
+//! (§6.1), and the exact-vs-approximate reconciliation cost comparison
+//! (§5.1).
+
+use icd_bloom::{math, BloomFilter};
+use icd_fountain::overhead::measure_overhead;
+use icd_recon::cost::{measure_all, Scenario};
+use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+use crate::config::ExpConfig;
+use crate::output::{f3, Table};
+
+/// §5.2's calibration points plus a sweep: analytic vs measured false
+/// positive rate per (bits/element, hashes).
+#[must_use]
+pub fn bloom_fp_table(cfg: &ExpConfig) -> Table {
+    let n = cfg.num_blocks.max(5_000);
+    let mut table = Table::new(
+        format!("Bloom false-positive calibration (n={n})"),
+        &["bits/elem", "hashes", "analytic", "measured", "paper"],
+    );
+    let paper_points = [(4.0, 3, Some(0.147)), (8.0, 5, Some(0.022))];
+    let extra_points = [(2.0, 1, None), (6.0, 4, None), (10.0, 7, None), (12.0, 8, None)];
+    let mut rng = Xoshiro256StarStar::new(cfg.base_seed);
+    let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    for (bpe, k, paper) in paper_points.into_iter().chain(extra_points) {
+        let m = (bpe * n as f64) as usize;
+        let mut filter = BloomFilter::new(m, k, cfg.base_seed);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let trials = 100_000;
+        let fps = (0..trials).filter(|_| filter.contains(rng.next_u64())).count();
+        table.push_row(vec![
+            format!("{bpe}"),
+            format!("{k}"),
+            f3(math::false_positive_rate(m, n as u64, k)),
+            f3(fps as f64 / trials as f64),
+            paper.map_or_else(|| "-".to_string(), f3),
+        ]);
+    }
+    table
+}
+
+/// §6.1's coding parameters: mean degree and decoding overhead across
+/// scales, with the paper's reported values alongside.
+#[must_use]
+pub fn coding_table(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Coding parameters (paper §6.1: avg degree 11, overhead 6.8% at l=23968)".to_string(),
+        &["blocks", "mean_degree", "overhead_mean", "overhead_ci95", "trials"],
+    );
+    let mut scales = vec![1_000usize, 4_000];
+    if cfg.num_blocks > 4_000 {
+        scales.push(cfg.num_blocks);
+    }
+    for l in scales {
+        let trials = if l >= 20_000 { cfg.trials.min(2) } else { cfg.trials };
+        let report = measure_overhead(l, trials, cfg.base_seed);
+        table.push_row(vec![
+            format!("{l}"),
+            f3(report.mean_degree),
+            f3(report.overhead.mean()),
+            f3(report.overhead.ci95()),
+            format!("{}", report.overhead.count()),
+        ]);
+    }
+    table
+}
+
+/// §5.1's cost comparison across every reconciliation method in the
+/// workspace.
+#[must_use]
+pub fn recon_cost_table(cfg: &ExpConfig) -> Table {
+    let shared = cfg.num_blocks;
+    let differences = (cfg.num_blocks / 50).max(20);
+    let scenario = Scenario::generate(shared, differences, cfg.base_seed);
+    let report = measure_all(&scenario, (differences * 2).max(16));
+    let mut table = Table::new(
+        format!(
+            "Reconciliation cost comparison (|A|={shared}, |B−A|={differences})"
+        ),
+        &["method", "wire_bytes", "build_ms", "reconcile_ms", "accuracy"],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.method.to_string(),
+            format!("{}", row.wire_bytes),
+            f3(row.build_ns as f64 / 1e6),
+            f3(row.reconcile_ns as f64 / 1e6),
+            f3(row.accuracy),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,239 @@
+//! Counting Bloom filter: supports deletion.
+//!
+//! §4/§5 require summaries that "can be incrementally updated at an
+//! end-system". Insertion-only updates suit a monotonically growing
+//! working set, but adaptive overlays also *shed* state: a peer that
+//! completes decoding may drop its symbol inventory and re-encode, and a
+//! reconciliation layer that tracks per-connection "already sent" sets
+//! needs removal. The standard fix (Fan et al., "Summary Cache" — the
+//! paper's reference \[11\]) replaces each bit with a small counter.
+//!
+//! Four-bit counters are the classic choice; we use `u8` for simplicity
+//! and saturate at 255 (a saturated counter is never decremented, keeping
+//! the no-false-negative guarantee at the cost of a permanently set slot —
+//! the same compromise Summary Cache makes).
+//!
+//! A counting filter can [`CountingBloomFilter::flatten`] into a plain
+//! [`BloomFilter`] for transmission, so the wire format never pays for
+//! counters.
+
+use icd_util::hash::DoubleHash;
+
+use crate::filter::BloomFilter;
+
+/// A Bloom filter with 8-bit saturating counters instead of bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    num_hashes: u32,
+    seed: u64,
+    items: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty counting filter with `m` counters and `k` hashes.
+    #[must_use]
+    pub fn new(m: usize, k: u32, seed: u64) -> Self {
+        assert!(m > 0, "filter must have at least one counter");
+        assert!(k > 0, "filter must use at least one hash");
+        Self {
+            counters: vec![0u8; m],
+            num_hashes: k,
+            seed,
+            items: 0,
+        }
+    }
+
+    /// Inserts a key, incrementing its `k` counters (saturating).
+    pub fn insert(&mut self, key: u64) {
+        let dh = DoubleHash::new(key, self.seed);
+        for i in 0..u64::from(self.num_hashes) {
+            let idx = dh.probe_bounded(i, self.counters.len());
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Removes a key previously inserted. Decrements its counters unless
+    /// they are saturated (saturated counters stay pinned to preserve the
+    /// no-false-negative property for other keys).
+    ///
+    /// Removing a key that was never inserted is a logic error the filter
+    /// cannot detect; it may introduce false negatives for other keys.
+    /// Callers in this workspace only remove keys they previously
+    /// inserted (the working-set structure enforces it).
+    pub fn remove(&mut self, key: u64) {
+        let dh = DoubleHash::new(key, self.seed);
+        for i in 0..u64::from(self.num_hashes) {
+            let idx = dh.probe_bounded(i, self.counters.len());
+            let c = self.counters[idx];
+            if c > 0 && c < u8::MAX {
+                self.counters[idx] = c - 1;
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// Membership probe: all `k` counters non-zero.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        let dh = DoubleHash::new(key, self.seed);
+        (0..u64::from(self.num_hashes))
+            .all(|i| self.counters[dh.probe_bounded(i, self.counters.len())] > 0)
+    }
+
+    /// Number of counters.
+    #[must_use]
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Net item count (inserts minus removes).
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Collapses to a plain Bloom filter of identical geometry for
+    /// transmission: counter > 0 → bit set.
+    #[must_use]
+    pub fn flatten(&self) -> BloomFilter {
+        let mut f = BloomFilter::new(self.counters.len(), self.num_hashes, self.seed);
+        // Reconstruct through serialized bits to keep BloomFilter's
+        // internals encapsulated.
+        let mut bytes = vec![0u8; self.counters.len().div_ceil(8)];
+        for (i, &c) in self.counters.iter().enumerate() {
+            if c > 0 {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        if let Some(rebuilt) = BloomFilter::from_bytes(
+            &bytes,
+            self.counters.len(),
+            self.num_hashes,
+            self.seed,
+            self.items,
+        ) {
+            f = rebuilt;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = CountingBloomFilter::new(4096, 4, 1);
+        for k in 0..200u64 {
+            f.insert(k);
+        }
+        for k in 0..200u64 {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut f = CountingBloomFilter::new(8192, 4, 2);
+        let keys: Vec<u64> = (0..100).map(|i| i * 977).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            f.remove(k);
+        }
+        // With all insertions removed the filter must be empty again.
+        assert!(keys.iter().all(|&k| !f.contains(k)));
+        assert_eq!(f.items(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_other_keys_present() {
+        let mut f = CountingBloomFilter::new(8192, 4, 3);
+        for k in 0..500u64 {
+            f.insert(k);
+        }
+        for k in 0..250u64 {
+            f.remove(k);
+        }
+        // The survivors must never be lost (no false negatives).
+        for k in 250..500u64 {
+            assert!(f.contains(k), "lost surviving key {k}");
+        }
+    }
+
+    #[test]
+    fn churn_cycle_insert_remove_insert() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let mut f = CountingBloomFilter::new(16_384, 4, 4);
+        let mut live: Vec<u64> = Vec::new();
+        for round in 0..10 {
+            // Add 100 new keys.
+            for _ in 0..100 {
+                let k = rng.next_u64();
+                f.insert(k);
+                live.push(k);
+            }
+            // Drop the oldest 50.
+            if round > 0 {
+                for k in live.drain(..50) {
+                    f.remove(k);
+                }
+            }
+            for &k in &live {
+                assert!(f.contains(k));
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_preserves_no_false_negatives() {
+        // Hammer one slot past saturation; the saturated counter must pin
+        // and removals must not produce false negatives for the survivor.
+        let mut f = CountingBloomFilter::new(1, 1, 5); // everything shares slot 0
+        for k in 0..300u64 {
+            f.insert(k);
+        }
+        // Remove 299 of 300; slot saturated at 255, stays pinned.
+        for k in 0..299u64 {
+            f.remove(k);
+        }
+        assert!(f.contains(299), "survivor lost after saturation");
+    }
+
+    #[test]
+    fn flatten_agrees_with_counting_membership() {
+        let mut rng = Xoshiro256StarStar::new(6);
+        let mut cf = CountingBloomFilter::new(4096, 3, 6);
+        let keys: Vec<u64> = (0..300).map(|_| rng.next_u64()).collect();
+        for &k in &keys {
+            cf.insert(k);
+        }
+        for &k in &keys[..150] {
+            cf.remove(k);
+        }
+        let flat = cf.flatten();
+        assert_eq!(flat.num_bits(), cf.num_counters());
+        // Flat filter answers exactly like the counting filter.
+        for probe in keys.iter().chain((0..1000).map(|_| rng.next_u64()).collect::<Vec<_>>().iter())
+        {
+            assert_eq!(flat.contains(*probe), cf.contains(*probe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_counters_rejected() {
+        let _ = CountingBloomFilter::new(0, 3, 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Strided (pipelined) Bloom filters — the §5.2 scaling trick.
+//!
+//! "If |S_A| and |S_B| are larger than tens of thousands, then peer A can
+//! create a Bloom filter only for elements of S that are equal to β
+//! modulo γ ... The Bloom filter approach can then be pipelined by
+//! incrementally providing additional filters for differing values of β
+//! as needed."
+//!
+//! A [`StridedBloomFilter`] is a plain filter plus its residue class
+//! (β, γ); keys outside the class are rejected at insert time (a logic
+//! error) and answered `true` at probe time so that the reconciliation
+//! loop simply skips them ("this slice doesn't tell me the symbol is
+//! missing" — conservative in exactly the direction the protocol
+//! tolerates: we may withhold, never resend wrongly... note withholding is
+//! the *safe* direction for Bloom reconciliation).
+//!
+//! Residues are computed on the *hashed* key so the slices are uniform
+//! even for clustered key spaces — the same "assume keys are random"
+//! transformation used everywhere else.
+
+use icd_util::hash::mix64;
+
+use crate::filter::BloomFilter;
+
+/// A Bloom filter covering only the keys with `hash(key) ≡ beta (mod gamma)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StridedBloomFilter {
+    inner: BloomFilter,
+    beta: u64,
+    gamma: u64,
+}
+
+impl StridedBloomFilter {
+    /// Creates a filter for residue class `beta` modulo `gamma`, sized for
+    /// `expected_slice_items` (≈ n/γ) at `bits_per_element`.
+    #[must_use]
+    pub fn new(
+        beta: u64,
+        gamma: u64,
+        expected_slice_items: usize,
+        bits_per_element: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(gamma >= 1, "stride must be at least 1");
+        assert!(beta < gamma, "residue {beta} out of range for stride {gamma}");
+        Self {
+            inner: BloomFilter::with_bits_per_element(
+                expected_slice_items.max(1),
+                bits_per_element,
+                // Mix the slice identity into the seed so different slices
+                // use independent hash functions.
+                seed ^ mix64(beta.wrapping_mul(gamma) ^ gamma),
+            ),
+            beta,
+            gamma,
+        }
+    }
+
+    /// Whether `key` belongs to this filter's residue class.
+    #[inline]
+    #[must_use]
+    pub fn covers(&self, key: u64) -> bool {
+        mix64(key) % self.gamma == self.beta
+    }
+
+    /// Inserts a covered key. Panics if the key is outside the slice —
+    /// feeding the wrong slice is a protocol bug, not a data condition.
+    pub fn insert(&mut self, key: u64) {
+        assert!(self.covers(key), "key not in residue class {}/{}", self.beta, self.gamma);
+        self.inner.insert(key);
+    }
+
+    /// Probes a key. For keys outside the slice this returns `true`
+    /// ("assume present"), so a sender filtering on `!contains` only acts
+    /// on keys this slice actually has evidence about.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        if !self.covers(key) {
+            return true;
+        }
+        self.inner.contains(key)
+    }
+
+    /// Residue β.
+    #[must_use]
+    pub fn beta(&self) -> u64 {
+        self.beta
+    }
+
+    /// Stride γ.
+    #[must_use]
+    pub fn gamma(&self) -> u64 {
+        self.gamma
+    }
+
+    /// Underlying filter (for wire encoding).
+    #[must_use]
+    pub fn inner(&self) -> &BloomFilter {
+        &self.inner
+    }
+
+    /// Wire size of the body in bytes.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.inner.wire_size()
+    }
+}
+
+/// A pipelined sequence of strided filters covering residues `0..built`
+/// out of `gamma` total slices, built lazily as reconciliation progresses.
+#[derive(Debug, Clone)]
+pub struct StridedPipeline {
+    gamma: u64,
+    bits_per_element: f64,
+    seed: u64,
+    slices: Vec<StridedBloomFilter>,
+}
+
+impl StridedPipeline {
+    /// Creates an empty pipeline that will partition keys into `gamma`
+    /// slices.
+    #[must_use]
+    pub fn new(gamma: u64, bits_per_element: f64, seed: u64) -> Self {
+        assert!(gamma >= 1, "stride must be at least 1");
+        Self {
+            gamma,
+            bits_per_element,
+            seed,
+            slices: Vec::new(),
+        }
+    }
+
+    /// Builds the next slice over `keys` (the full working set; the slice
+    /// picks out its own residues) and returns it, or `None` when all
+    /// `gamma` slices have been built.
+    pub fn build_next(&mut self, keys: &[u64]) -> Option<&StridedBloomFilter> {
+        let beta = self.slices.len() as u64;
+        if beta >= self.gamma {
+            return None;
+        }
+        let expected = (keys.len() as u64 / self.gamma).max(1) as usize;
+        let mut slice = StridedBloomFilter::new(beta, self.gamma, expected, self.bits_per_element, self.seed);
+        for &k in keys {
+            if slice.covers(k) {
+                slice.insert(k);
+            }
+        }
+        self.slices.push(slice);
+        self.slices.last()
+    }
+
+    /// Slices built so far.
+    #[must_use]
+    pub fn slices(&self) -> &[StridedBloomFilter] {
+        &self.slices
+    }
+
+    /// Probes across all built slices: returns `false` (definitely
+    /// missing) only if the covering slice has been built and reports the
+    /// key absent.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        let beta = mix64(key) % self.gamma;
+        match self.slices.get(beta as usize) {
+            Some(slice) => slice.contains(key),
+            None => true, // no evidence yet — assume present
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+    #[test]
+    fn slice_covers_partition() {
+        let gamma = 7u64;
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..1000 {
+            let key = rng.next_u64();
+            let covering: Vec<u64> = (0..gamma)
+                .filter(|&b| {
+                    StridedBloomFilter::new(b, gamma, 10, 8.0, 0).covers(key)
+                })
+                .collect();
+            assert_eq!(covering.len(), 1, "each key covered by exactly one slice");
+        }
+    }
+
+    #[test]
+    fn insert_and_probe_within_slice() {
+        let gamma = 4u64;
+        let mut rng = Xoshiro256StarStar::new(2);
+        let keys: Vec<u64> = (0..4000).map(|_| rng.next_u64()).collect();
+        let mut slice = StridedBloomFilter::new(1, gamma, keys.len() / 4, 8.0, 9);
+        let covered: Vec<u64> = keys.iter().copied().filter(|&k| slice.covers(k)).collect();
+        for &k in &covered {
+            slice.insert(k);
+        }
+        for &k in &covered {
+            assert!(slice.contains(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in residue class")]
+    fn inserting_uncovered_key_panics() {
+        let mut slice = StridedBloomFilter::new(0, 1_000_000, 10, 8.0, 0);
+        // Find a key that is NOT covered.
+        let mut key = 0u64;
+        while slice.covers(key) {
+            key += 1;
+        }
+        slice.insert(key);
+    }
+
+    #[test]
+    fn uncovered_probe_is_conservative() {
+        let slice = StridedBloomFilter::new(0, 1_000_000, 10, 8.0, 0);
+        let mut key = 0u64;
+        while slice.covers(key) {
+            key += 1;
+        }
+        assert!(slice.contains(key), "out-of-slice probe must answer present");
+    }
+
+    #[test]
+    fn pipeline_converges_to_full_coverage() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let keys: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        let absent: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        let gamma = 5;
+        let mut pipe = StridedPipeline::new(gamma, 8.0, 7);
+        // Before any slice: everything "present" (no evidence).
+        assert!(absent.iter().all(|&k| pipe.contains(k)));
+        let mut definite_misses = Vec::new();
+        for _ in 0..gamma {
+            assert!(pipe.build_next(&keys).is_some());
+            definite_misses.push(absent.iter().filter(|&&k| !pipe.contains(k)).count());
+        }
+        assert!(pipe.build_next(&keys).is_none(), "pipeline exhausted");
+        // Coverage of true misses grows monotonically with slices...
+        assert!(definite_misses.windows(2).all(|w| w[0] <= w[1]));
+        // ...and ends near-complete (Bloom FPs keep it slightly below).
+        let final_fraction = definite_misses[gamma as usize - 1] as f64 / absent.len() as f64;
+        assert!(final_fraction > 0.95, "final miss coverage {final_fraction}");
+        // Inserted keys are never reported missing.
+        assert!(keys.iter().all(|&k| pipe.contains(k)));
+    }
+
+    #[test]
+    fn total_pipeline_size_comparable_to_flat_filter() {
+        // The pipeline trades latency for memory: total bits across slices
+        // should be within a small factor of one flat filter.
+        let mut rng = Xoshiro256StarStar::new(4);
+        let keys: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        let mut pipe = StridedPipeline::new(8, 8.0, 1);
+        while pipe.build_next(&keys).is_some() {}
+        let total: usize = pipe.slices().iter().map(StridedBloomFilter::wire_size).sum();
+        let flat = crate::BloomFilter::with_bits_per_element(keys.len(), 8.0, 1).wire_size();
+        assert!(total < flat * 2, "pipeline {total} B vs flat {flat} B");
+    }
+}

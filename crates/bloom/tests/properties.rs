@@ -1,0 +1,113 @@
+//! Property-based tests for the Bloom family: the no-false-negative
+//! contract under arbitrary workloads, serialization totality, counting
+//! deletion safety, and strided partition coverage.
+
+use icd_bloom::{BloomFilter, CountingBloomFilter, StridedBloomFilter};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn never_forgets_inserted_keys(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..400),
+        bpe in 1.0f64..16.0,
+        seed in any::<u64>(),
+    ) {
+        let mut f = BloomFilter::with_bits_per_element(keys.len(), bpe, seed);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn serialization_preserves_answers(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..200),
+        probes in proptest::collection::vec(any::<u64>(), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let mut f = BloomFilter::with_bits_per_element(keys.len(), 6.0, seed);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let back = BloomFilter::from_bytes(&f.to_bytes(), f.num_bits(), f.num_hashes(), f.seed(), f.items()).unwrap();
+        for p in keys.iter().chain(probes.iter()) {
+            prop_assert_eq!(f.contains(*p), back.contains(*p));
+        }
+    }
+
+    #[test]
+    fn union_is_superset_of_parts(
+        a_keys in proptest::collection::hash_set(any::<u64>(), 1..150),
+        b_keys in proptest::collection::hash_set(any::<u64>(), 1..150),
+    ) {
+        let m = 8 * (a_keys.len() + b_keys.len());
+        let mut a = BloomFilter::new(m, 4, 3);
+        let mut b = BloomFilter::new(m, 4, 3);
+        for &k in &a_keys {
+            a.insert(k);
+        }
+        for &k in &b_keys {
+            b.insert(k);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        for &k in a_keys.iter().chain(b_keys.iter()) {
+            prop_assert!(u.contains(k));
+        }
+    }
+
+    #[test]
+    fn counting_deletion_never_creates_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 2..300),
+        remove_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut f = CountingBloomFilter::new(keys.len() * 8, 4, seed);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let cut = ((keys.len() as f64) * remove_frac) as usize;
+        for &k in &keys[..cut] {
+            f.remove(k);
+        }
+        // The survivors must all still be present.
+        for &k in &keys[cut..] {
+            prop_assert!(f.contains(k), "lost surviving key {k}");
+        }
+    }
+
+    #[test]
+    fn strided_slices_partition_every_key(gamma in 1u64..16, keys in proptest::collection::vec(any::<u64>(), 1..100)) {
+        for k in keys {
+            let covering = (0..gamma)
+                .filter(|&b| StridedBloomFilter::new(b, gamma, 8, 8.0, 0).covers(k))
+                .count();
+            prop_assert_eq!(covering, 1);
+        }
+    }
+
+    #[test]
+    fn one_sided_error_for_reconciliation(
+        a_keys in proptest::collection::hash_set(any::<u64>(), 1..300),
+        b_keys in proptest::collection::hash_set(any::<u64>(), 1..300),
+    ) {
+        // The protocol invariant: symbols a sender ships because the
+        // receiver's filter reported them absent are NEVER already held.
+        let a_set: HashSet<u64> = a_keys.iter().copied().collect();
+        let mut filter = BloomFilter::with_bits_per_element(a_keys.len(), 8.0, 77);
+        for &k in &a_keys {
+            filter.insert(k);
+        }
+        for &k in &b_keys {
+            if !filter.contains(k) {
+                prop_assert!(!a_set.contains(&k));
+            }
+        }
+    }
+}

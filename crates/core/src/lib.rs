@@ -1,0 +1,34 @@
+//! Informed content delivery across adaptive overlay networks — the
+//! paper's system, assembled from the workspace's substrates into a
+//! public API a downstream application would use.
+//!
+//! The paper's architecture (§3) has three tiers, each mapped here:
+//!
+//! 1. **Coarse-grained estimation** — peers exchange min-wise sketches
+//!    ("an end-system's calling card") to estimate working-set overlap
+//!    before committing bandwidth. [`WorkingSet`] maintains the sketch
+//!    incrementally as symbols arrive.
+//! 2. **Fine-grained reconciliation** — a receiver ships a Bloom filter
+//!    or ART summary so the sender can filter or personalize its
+//!    transmissions. [`policy`] chooses the machinery from the estimate,
+//!    following §3's tradeoff discussion.
+//! 3. **Informed transfer** — the sender streams encoded symbols the
+//!    receiver provably lacks, or recoded symbols tuned to the estimated
+//!    correlation. [`session`] packages the whole exchange as a pair of
+//!    transport-agnostic state machines speaking `icd-wire` messages
+//!    (the `tcp_reconcile` example runs them over real sockets; tests
+//!    run them over in-memory pipes).
+//!
+//! The simulation-facing strategy code lives in `icd-overlay`; this
+//! crate is the payload-carrying, protocol-speaking layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod session;
+pub mod working_set;
+
+pub use policy::{PolicyKnobs, SummaryChoice, TransferPlan};
+pub use session::{pump, ReceiverSession, SenderSession, SessionConfig, SessionError};
+pub use working_set::WorkingSet;

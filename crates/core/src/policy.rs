@@ -1,0 +1,187 @@
+//! Transfer-plan selection — §3's tradeoff discussion as executable
+//! policy.
+//!
+//! "The techniques we describe provide a range of options and are useful
+//! in different scenarios, primarily depending on: the resources
+//! available at the end-systems, the correlation between the working
+//! sets at the end-systems, and the requirements of precision." This
+//! module encodes those rules:
+//!
+//! * **Admission control** (§4): a candidate sender whose content is
+//!   (estimated) identical is rejected outright.
+//! * **Summary choice** (§5.3): Bloom filters when the expected
+//!   difference is large (search cost O(n) amortizes well); ARTs when
+//!   the difference is small relative to the sets ("especially useful
+//!   when the set difference is small but still potentially worthwhile",
+//!   with search cost O(d log n)).
+//! * **Recoding policy** (§5.4.2): with a summary in hand the sender can
+//!   pick guaranteed-useful symbols and recoding is unnecessary; without
+//!   one, recode with min-wise degree scaling.
+
+use icd_fountain::RecodePolicy;
+use icd_sketch::OverlapEstimate;
+
+/// Resource/precision knobs a deployment sets per §3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyKnobs {
+    /// Resemblance above which a candidate sender is considered
+    /// identical and rejected (§4's admission control).
+    pub identical_threshold: f64,
+    /// If the expected difference is below this fraction of the peer's
+    /// set, prefer an ART (sublinear search); otherwise a Bloom filter.
+    pub art_difference_fraction: f64,
+    /// Whether this end-system can afford fine-grained summaries at all
+    /// ("not all clients will have the processing capability to perform
+    /// fine-grained reconciliation", §5.4).
+    pub fine_grained_capable: bool,
+}
+
+impl Default for PolicyKnobs {
+    fn default() -> Self {
+        Self {
+            identical_threshold: 0.99,
+            art_difference_fraction: 0.05,
+            fine_grained_capable: true,
+        }
+    }
+}
+
+/// Which fine-grained summary (if any) the receiver should send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryChoice {
+    /// No summary: the sender works from the sketch alone (recoding).
+    None,
+    /// Bloom filter over the receiver's working set.
+    Bloom,
+    /// Approximate reconciliation tree summary.
+    Art,
+}
+
+/// The agreed plan for one sender→receiver connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferPlan {
+    /// Do not connect: the peer offers (almost) nothing new.
+    Reject,
+    /// Connect; receiver ships the chosen summary; sender filters its
+    /// transmissions through it (reconciled transfer, §3).
+    Reconciled {
+        /// Summary the receiver should provide.
+        summary: SummaryChoice,
+    },
+    /// Connect; sender recodes over its whole working set with the given
+    /// degree policy (speculative transfer, §3).
+    Speculative {
+        /// Degree policy for the recoder.
+        recode: RecodePolicy,
+    },
+}
+
+/// Chooses a plan from the exchanged sketch estimate. `estimate` is
+/// taken from the receiver's perspective: A = receiver, B = candidate
+/// sender.
+#[must_use]
+pub fn plan_transfer(estimate: &OverlapEstimate, knobs: &PolicyKnobs) -> TransferPlan {
+    // §4: "receivers ... immediately reject candidate senders whose
+    // content is identical to their own."
+    if estimate.is_identical(1.0 - knobs.identical_threshold) {
+        return TransferPlan::Reject;
+    }
+    // A peer with nothing, or nothing new (within float noise from the
+    // inclusion–exclusion arithmetic), is not worth a connection.
+    let useful = estimate.useful_fraction_of_b();
+    if estimate.size_b() == 0 || useful <= 1e-9 {
+        return TransferPlan::Reject;
+    }
+    if !knobs.fine_grained_capable {
+        // §5.4: clients without fine-grained capability lean on recoding
+        // tuned by the sketch.
+        return TransferPlan::Speculative {
+            recode: RecodePolicy::MinwiseScaled {
+                containment: estimate.containment_of_b(),
+            },
+        };
+    }
+    // Expected |B ∖ A| as a fraction of |B| decides Bloom vs ART.
+    let summary = if useful < knobs.art_difference_fraction {
+        SummaryChoice::Art
+    } else {
+        SummaryChoice::Bloom
+    };
+    TransferPlan::Reconciled { summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(resemblance: f64, a: u64, b: u64) -> OverlapEstimate {
+        OverlapEstimate::from_resemblance(resemblance, a, b)
+    }
+
+    #[test]
+    fn identical_peers_rejected() {
+        let plan = plan_transfer(&est(1.0, 1000, 1000), &PolicyKnobs::default());
+        assert_eq!(plan, TransferPlan::Reject);
+    }
+
+    #[test]
+    fn near_identical_rejected_by_threshold() {
+        let plan = plan_transfer(&est(0.995, 1000, 1000), &PolicyKnobs::default());
+        assert_eq!(plan, TransferPlan::Reject);
+    }
+
+    #[test]
+    fn large_difference_uses_bloom() {
+        // Disjoint equal-size sets: everything useful.
+        let plan = plan_transfer(&est(0.0, 1000, 1000), &PolicyKnobs::default());
+        assert_eq!(
+            plan,
+            TransferPlan::Reconciled {
+                summary: SummaryChoice::Bloom
+            }
+        );
+    }
+
+    #[test]
+    fn small_difference_uses_art() {
+        // 1000 vs 1000 with r = 0.96 → useful fraction ≈ 2 % < 5 %.
+        let plan = plan_transfer(&est(0.96, 1000, 1000), &PolicyKnobs::default());
+        assert_eq!(
+            plan,
+            TransferPlan::Reconciled {
+                summary: SummaryChoice::Art
+            }
+        );
+    }
+
+    #[test]
+    fn weak_clients_fall_back_to_recoding() {
+        let knobs = PolicyKnobs {
+            fine_grained_capable: false,
+            ..PolicyKnobs::default()
+        };
+        let plan = plan_transfer(&est(0.5, 1000, 1000), &knobs);
+        match plan {
+            TransferPlan::Speculative {
+                recode: RecodePolicy::MinwiseScaled { containment },
+            } => {
+                // r = 0.5 on equal sizes → containment 2/3.
+                assert!((containment - 2.0 / 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected speculative plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subset_sender_rejected() {
+        // B ⊂ A: nothing useful regardless of resemblance.
+        let plan = plan_transfer(&est(0.1, 1000, 100), &PolicyKnobs::default());
+        assert_eq!(plan, TransferPlan::Reject);
+    }
+
+    #[test]
+    fn empty_estimate_is_rejected_not_crashed() {
+        let plan = plan_transfer(&est(0.0, 0, 0), &PolicyKnobs::default());
+        assert_eq!(plan, TransferPlan::Reject);
+    }
+}

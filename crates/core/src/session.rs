@@ -1,0 +1,608 @@
+//! Transport-agnostic reconciliation sessions.
+//!
+//! The §3 exchange as a pair of state machines speaking `icd-wire`
+//! messages. The receiver drives:
+//!
+//! 1. **R → S**: min-wise sketch (the calling card).
+//! 2. **S → R**: the sender's sketch in return.
+//! 3. Receiver applies [`crate::policy::plan_transfer`]:
+//!    * *Reject* — session ends (admission control; no bandwidth spent
+//!      beyond two 1 KB packets).
+//!    * *Reconciled* — receiver sends its Bloom or ART summary plus a
+//!      `SymbolRequest{count}`.
+//!    * *Speculative* — receiver sends only `SymbolRequest{count}`.
+//! 4. **S → R**: up to `count` data messages — encoded symbols the
+//!    summary clears (reconciled), or recoded symbols with min-wise-
+//!    scaled degrees (speculative) — then `End`.
+//!
+//! The machines are pure: `on_message` consumes one message and returns
+//! the messages to transmit. They can be driven over TCP (the
+//! `tcp_reconcile` example), in-memory queues ([`pump`], used by tests),
+//! or anything else that moves bytes.
+
+use bytes::Bytes;
+use icd_art::SummaryParams;
+use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, Recoder};
+use icd_sketch::MinwiseSketch;
+use icd_util::rng::Xoshiro256StarStar;
+use icd_wire::Message;
+
+use crate::policy::{plan_transfer, PolicyKnobs, SummaryChoice, TransferPlan};
+use crate::working_set::WorkingSet;
+
+/// Session-level configuration (receiver side).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Symbols to request (§6.1: chosen "with appropriate allowances for
+    /// decoding overhead").
+    pub request: u64,
+    /// Policy knobs for plan selection.
+    pub knobs: PolicyKnobs,
+    /// Bloom sizing when the plan chooses a Bloom summary.
+    pub bloom_bits_per_element: f64,
+    /// ART sizing when the plan chooses an ART summary.
+    pub art_params: SummaryParams,
+    /// RNG seed (recoding draws on the sender side use the peer's seed).
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            request: 128,
+            knobs: PolicyKnobs::default(),
+            bloom_bits_per_element: 8.0,
+            art_params: SummaryParams::standard(),
+            seed: 0x5E55_1014,
+        }
+    }
+}
+
+/// Session failures: protocol violations, not I/O (the transport layer
+/// owns those).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A message arrived that the current state cannot accept.
+    UnexpectedMessage {
+        /// The state the machine was in.
+        state: &'static str,
+        /// A short description of the offending message.
+        got: &'static str,
+    },
+    /// The peer's sketch uses a different permutation family.
+    FamilyMismatch,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedMessage { state, got } => {
+                write!(f, "unexpected {got} in state {state}")
+            }
+            Self::FamilyMismatch => write!(f, "peer sketch from a different permutation family"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+fn describe(msg: &Message) -> &'static str {
+    match msg {
+        Message::Minwise(_) => "minwise sketch",
+        Message::RandomSample(_) => "random sample",
+        Message::ModK(_) => "mod-k sample",
+        Message::Bloom(_) => "bloom summary",
+        Message::Art(_) => "art summary",
+        Message::SymbolRequest { .. } => "symbol request",
+        Message::EncodedSymbol { .. } => "encoded symbol",
+        Message::RecodedSymbol { .. } => "recoded symbol",
+        Message::End { .. } => "end",
+    }
+}
+
+/// Receiver-side session.
+#[derive(Debug)]
+pub struct ReceiverSession {
+    config: SessionConfig,
+    state: ReceiverState,
+    buffer: RecodeBuffer,
+    gained: u64,
+    plan: Option<TransferPlan>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReceiverState {
+    AwaitPeerSketch,
+    Streaming,
+    Done,
+    Rejected,
+}
+
+impl ReceiverSession {
+    /// Starts a session: returns the machine and the opening message
+    /// (the receiver's sketch).
+    #[must_use]
+    pub fn start(working: &WorkingSet, config: SessionConfig) -> (Self, Vec<Message>) {
+        let mut buffer = RecodeBuffer::new();
+        for sym in working.symbols() {
+            let _ = buffer.add_known(&sym);
+        }
+        let opening = vec![Message::Minwise(working.sketch().clone())];
+        (
+            Self {
+                config,
+                state: ReceiverState::AwaitPeerSketch,
+                buffer,
+                gained: 0,
+                plan: None,
+            },
+            opening,
+        )
+    }
+
+    /// Feeds one inbound message; mutates `working` as symbols arrive
+    /// and returns the messages to send back.
+    pub fn on_message(
+        &mut self,
+        working: &mut WorkingSet,
+        msg: &Message,
+    ) -> Result<Vec<Message>, SessionError> {
+        match (self.state, msg) {
+            (ReceiverState::AwaitPeerSketch, Message::Minwise(peer_sketch)) => {
+                if peer_sketch.family_seed() != working.sketch().family_seed() {
+                    return Err(SessionError::FamilyMismatch);
+                }
+                let estimate = working.estimate_against(peer_sketch);
+                let plan = plan_transfer(&estimate, &self.config.knobs);
+                self.plan = Some(plan);
+                match plan {
+                    TransferPlan::Reject => {
+                        self.state = ReceiverState::Rejected;
+                        Ok(vec![Message::End { sent: 0 }])
+                    }
+                    TransferPlan::Reconciled { summary } => {
+                        self.state = ReceiverState::Streaming;
+                        let mut out = Vec::new();
+                        match summary {
+                            SummaryChoice::Bloom => out.push(Message::Bloom(
+                                working.bloom_summary(self.config.bloom_bits_per_element),
+                            )),
+                            SummaryChoice::Art => out.push(Message::Art(
+                                working.art_summary(self.config.art_params),
+                            )),
+                            SummaryChoice::None => {}
+                        }
+                        out.push(Message::SymbolRequest {
+                            count: self.config.request,
+                        });
+                        Ok(out)
+                    }
+                    TransferPlan::Speculative { .. } => {
+                        self.state = ReceiverState::Streaming;
+                        Ok(vec![Message::SymbolRequest {
+                            count: self.config.request,
+                        }])
+                    }
+                }
+            }
+            (ReceiverState::Streaming, Message::EncodedSymbol { id, payload }) => {
+                self.ingest(
+                    working,
+                    &icd_fountain::RecodedSymbol {
+                        components: vec![*id],
+                        payload: Bytes::from(payload.clone()),
+                    },
+                );
+                Ok(vec![])
+            }
+            (ReceiverState::Streaming, Message::RecodedSymbol { components, payload }) => {
+                self.ingest(
+                    working,
+                    &icd_fountain::RecodedSymbol {
+                        components: components.clone(),
+                        payload: Bytes::from(payload.clone()),
+                    },
+                );
+                Ok(vec![])
+            }
+            (ReceiverState::Streaming, Message::End { .. }) => {
+                self.state = ReceiverState::Done;
+                Ok(vec![])
+            }
+            (_, other) => Err(SessionError::UnexpectedMessage {
+                state: self.state_name(),
+                got: describe(other),
+            }),
+        }
+    }
+
+    fn ingest(&mut self, working: &mut WorkingSet, rec: &icd_fountain::RecodedSymbol) {
+        for recovered in self.buffer.receive(rec) {
+            if working.insert(recovered) {
+                self.gained += 1;
+            }
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            ReceiverState::AwaitPeerSketch => "await-peer-sketch",
+            ReceiverState::Streaming => "streaming",
+            ReceiverState::Done => "done",
+            ReceiverState::Rejected => "rejected",
+        }
+    }
+
+    /// True when the stream finished normally.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == ReceiverState::Done
+    }
+
+    /// True when admission control rejected the peer.
+    #[must_use]
+    pub fn was_rejected(&self) -> bool {
+        self.state == ReceiverState::Rejected
+    }
+
+    /// New distinct symbols gained this session.
+    #[must_use]
+    pub fn gained(&self) -> u64 {
+        self.gained
+    }
+
+    /// The plan chosen after the sketch exchange (None before that).
+    #[must_use]
+    pub fn plan(&self) -> Option<TransferPlan> {
+        self.plan
+    }
+}
+
+/// Sender-side session. Owns a snapshot of the sender's working set for
+/// the connection's duration (the §6.1 model: summaries and inventories
+/// are not updated mid-connection).
+#[derive(Debug)]
+pub struct SenderSession {
+    working: WorkingSet,
+    state: SenderState,
+    /// Receiver sketch, kept for speculative-degree estimation.
+    receiver_sketch: Option<MinwiseSketch>,
+    /// Candidate symbols cleared by a receiver summary.
+    candidates: Option<Vec<EncodedSymbol>>,
+    rng: Xoshiro256StarStar,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderState {
+    AwaitSketch,
+    AwaitPlan,
+    Done,
+}
+
+impl SenderSession {
+    /// Creates the sender side over a snapshot of its working set.
+    #[must_use]
+    pub fn new(working: WorkingSet, seed: u64) -> Self {
+        Self {
+            working,
+            state: SenderState::AwaitSketch,
+            receiver_sketch: None,
+            candidates: None,
+            rng: Xoshiro256StarStar::new(seed),
+        }
+    }
+
+    /// Feeds one inbound message and returns replies.
+    pub fn on_message(&mut self, msg: &Message) -> Result<Vec<Message>, SessionError> {
+        match (self.state, msg) {
+            (SenderState::AwaitSketch, Message::Minwise(sketch)) => {
+                if sketch.family_seed() != self.working.sketch().family_seed() {
+                    return Err(SessionError::FamilyMismatch);
+                }
+                self.receiver_sketch = Some(sketch.clone());
+                self.state = SenderState::AwaitPlan;
+                Ok(vec![Message::Minwise(self.working.sketch().clone())])
+            }
+            (SenderState::AwaitPlan, Message::Bloom(filter)) => {
+                let candidates: Vec<EncodedSymbol> = self
+                    .working
+                    .symbols()
+                    .filter(|s| !filter.contains(s.id))
+                    .collect();
+                self.candidates = Some(candidates);
+                Ok(vec![])
+            }
+            (SenderState::AwaitPlan, Message::Art(summary)) => {
+                let missing = self.working.missing_at_peer(summary);
+                let candidates: Vec<EncodedSymbol> = missing
+                    .into_iter()
+                    .filter_map(|id| {
+                        self.working.payload(id).map(|p| EncodedSymbol {
+                            id,
+                            payload: p.clone(),
+                        })
+                    })
+                    .collect();
+                self.candidates = Some(candidates);
+                Ok(vec![])
+            }
+            (SenderState::AwaitPlan, Message::SymbolRequest { count }) => {
+                let out = self.stream(*count);
+                self.state = SenderState::Done;
+                Ok(out)
+            }
+            (SenderState::AwaitPlan, Message::End { .. }) => {
+                // Admission control rejected us; nothing to do.
+                self.state = SenderState::Done;
+                Ok(vec![])
+            }
+            (_, other) => Err(SessionError::UnexpectedMessage {
+                state: self.state_name(),
+                got: describe(other),
+            }),
+        }
+    }
+
+    /// Produces the data stream answering a request for `count` symbols.
+    fn stream(&mut self, count: u64) -> Vec<Message> {
+        let mut out: Vec<Message> = Vec::new();
+        match self.candidates.take() {
+            Some(mut candidates) => {
+                // Reconciled transfer: ship cleared symbols, most once
+                // each, stopping at the request or exhaustion.
+                self.rng.shuffle(&mut candidates);
+                for sym in candidates.into_iter().take(count as usize) {
+                    out.push(Message::EncodedSymbol {
+                        id: sym.id,
+                        payload: sym.payload.to_vec(),
+                    });
+                }
+            }
+            None => {
+                // Speculative transfer: recode over the whole set with
+                // min-wise-scaled degrees.
+                let containment = self
+                    .receiver_sketch
+                    .as_ref()
+                    .map(|rs| rs.estimate(self.working.sketch()).containment_of_b())
+                    .unwrap_or(0.0);
+                if !self.working.is_empty() {
+                    let recoder = Recoder::new(
+                        self.working.symbols().collect(),
+                        icd_fountain::recode::PAPER_DEGREE_LIMIT,
+                        RecodePolicy::MinwiseScaled { containment },
+                    );
+                    for _ in 0..count {
+                        let rec = recoder.generate(&mut self.rng);
+                        out.push(Message::RecodedSymbol {
+                            components: rec.components,
+                            payload: rec.payload.to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        let sent = out.len() as u64;
+        out.push(Message::End { sent });
+        out
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            SenderState::AwaitSketch => "await-sketch",
+            SenderState::AwaitPlan => "await-plan",
+            SenderState::Done => "done",
+        }
+    }
+
+    /// True when the sender has answered the request (or been rejected).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == SenderState::Done
+    }
+}
+
+use icd_util::rng::Rng64 as _;
+
+/// Drives a receiver and a sender against each other over in-memory
+/// queues until quiescence. Returns the number of messages exchanged
+/// `(to_sender, to_receiver)`. Used by tests and the quickstart example;
+/// the TCP example replaces this loop with sockets.
+pub fn pump(
+    receiver: &mut ReceiverSession,
+    receiver_working: &mut WorkingSet,
+    sender: &mut SenderSession,
+    opening: Vec<Message>,
+) -> Result<(u64, u64), SessionError> {
+    let mut to_sender: std::collections::VecDeque<Message> = opening.into();
+    let mut to_receiver: std::collections::VecDeque<Message> = std::collections::VecDeque::new();
+    let mut count_s = 0u64;
+    let mut count_r = 0u64;
+    loop {
+        let mut progressed = false;
+        if let Some(msg) = to_sender.pop_front() {
+            count_s += 1;
+            to_receiver.extend(sender.on_message(&msg)?);
+            progressed = true;
+        }
+        if let Some(msg) = to_receiver.pop_front() {
+            count_r += 1;
+            to_sender.extend(receiver.on_message(receiver_working, &msg)?);
+            progressed = true;
+        }
+        if !progressed {
+            return Ok((count_s, count_r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+    fn sym(id: u64) -> EncodedSymbol {
+        EncodedSymbol {
+            id,
+            payload: Bytes::from(id.to_le_bytes().to_vec()),
+        }
+    }
+
+    fn working(ids: &[u64]) -> WorkingSet {
+        WorkingSet::from_symbols(ids.iter().map(|&id| sym(id)))
+    }
+
+    fn ids(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn identical_peers_reject_after_two_packets() {
+        let shared = ids(500, 1);
+        let mut recv_ws = working(&shared);
+        let send_ws = working(&shared);
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, SessionConfig::default());
+        let mut send = SenderSession::new(send_ws, 7);
+        let (s, r) = pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.was_rejected());
+        assert!(send.is_done());
+        assert_eq!(recv.gained(), 0);
+        // Admission control costs exactly: sketch out, sketch back, end.
+        assert_eq!(s, 2); // sketch + end... (receiver sent sketch, then End)
+        assert_eq!(r, 1); // sender's sketch
+    }
+
+    #[test]
+    fn bloom_reconciled_transfer_moves_only_useful_symbols() {
+        let shared = ids(1000, 2);
+        let fresh = ids(300, 3);
+        let mut recv_ws = working(&shared);
+        let mut sender_ids = shared.clone();
+        sender_ids.extend(fresh.iter().copied());
+        let send_ws = working(&sender_ids);
+        let config = SessionConfig {
+            request: 1000,
+            ..SessionConfig::default()
+        };
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
+        let mut send = SenderSession::new(send_ws, 8);
+        pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.is_done());
+        assert!(matches!(
+            recv.plan(),
+            Some(TransferPlan::Reconciled {
+                summary: SummaryChoice::Bloom
+            })
+        ));
+        // Gained symbols ⊆ fresh, and nearly all of fresh (Bloom FPs may
+        // withhold a few).
+        assert!(recv.gained() as usize <= fresh.len());
+        assert!(
+            recv.gained() as usize > fresh.len() * 9 / 10,
+            "gained {} of {}",
+            recv.gained(),
+            fresh.len()
+        );
+        for id in &fresh {
+            if recv_ws.contains(*id) {
+                assert_eq!(
+                    recv_ws.payload(*id).expect("present").as_ref(),
+                    &id.to_le_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn art_plan_for_small_differences() {
+        let shared = ids(3000, 4);
+        let fresh = ids(30, 5); // 1 % difference → ART territory
+        let mut recv_ws = working(&shared);
+        let mut sender_ids = shared.clone();
+        sender_ids.extend(fresh.iter().copied());
+        let send_ws = working(&sender_ids);
+        let config = SessionConfig {
+            request: 100,
+            ..SessionConfig::default()
+        };
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
+        let mut send = SenderSession::new(send_ws, 9);
+        pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.is_done());
+        assert!(matches!(
+            recv.plan(),
+            Some(TransferPlan::Reconciled {
+                summary: SummaryChoice::Art
+            })
+        ));
+        assert!(recv.gained() > 0, "ART transfer should deliver something");
+        // Everything gained is genuinely fresh.
+        for id in &shared {
+            assert!(recv_ws.contains(*id));
+        }
+    }
+
+    #[test]
+    fn speculative_transfer_for_weak_clients() {
+        let shared = ids(400, 6);
+        let fresh = ids(400, 7);
+        let mut recv_ws = working(&shared);
+        let mut sender_ids = shared.clone();
+        sender_ids.extend(fresh.iter().copied());
+        let send_ws = working(&sender_ids);
+        let config = SessionConfig {
+            request: 2000,
+            knobs: PolicyKnobs {
+                fine_grained_capable: false,
+                ..PolicyKnobs::default()
+            },
+            ..SessionConfig::default()
+        };
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
+        let mut send = SenderSession::new(send_ws, 10);
+        pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.is_done());
+        assert!(matches!(recv.plan(), Some(TransferPlan::Speculative { .. })));
+        assert!(
+            recv.gained() as usize > fresh.len() / 2,
+            "recoded stream should deliver a good share: {}",
+            recv.gained()
+        );
+        // Payload integrity through recoded XOR paths.
+        for id in fresh.iter().filter(|id| recv_ws.contains(**id)) {
+            assert_eq!(
+                recv_ws.payload(*id).expect("present").as_ref(),
+                &id.to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let ws = working(&ids(10, 11));
+        let (mut recv, _) = ReceiverSession::start(&ws, SessionConfig::default());
+        let mut ws2 = ws.clone();
+        let err = recv.on_message(&mut ws2, &Message::SymbolRequest { count: 1 });
+        assert!(matches!(err, Err(SessionError::UnexpectedMessage { .. })));
+        let mut send = SenderSession::new(ws, 12);
+        let err = send.on_message(&Message::End { sent: 0 });
+        assert!(matches!(err, Err(SessionError::UnexpectedMessage { .. })));
+    }
+
+    #[test]
+    fn request_bounds_the_stream() {
+        let mut recv_ws = working(&ids(100, 13));
+        let send_ws = working(&ids(500, 14)); // disjoint
+        let config = SessionConfig {
+            request: 50,
+            ..SessionConfig::default()
+        };
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
+        let mut send = SenderSession::new(send_ws, 15);
+        pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.is_done());
+        assert!(recv.gained() <= 50);
+        assert!(recv.gained() >= 45, "gained {}", recv.gained());
+    }
+}

@@ -1,0 +1,253 @@
+//! A peer's working set: symbols plus incrementally maintained summaries.
+//!
+//! §4 requires that "all of our approaches can be incrementally updated
+//! upon acquisition of new content, with constant overhead per receipt
+//! of each new element". [`WorkingSet::insert`] therefore updates the
+//! min-wise sketch (O(width) field ops) and the reconciliation tree
+//! (O(log n)) on every arrival; Bloom filters and ART summaries — which
+//! are built *for a particular peer exchange* — are generated on demand
+//! from current state.
+
+use bytes::Bytes;
+use icd_art::{ArtParams, ArtSummary, ReconciliationTree, SummaryParams};
+use icd_bloom::BloomFilter;
+use icd_fountain::{EncodedSymbol, SymbolId};
+use icd_sketch::{MinwiseSketch, OverlapEstimate, PermutationFamily};
+use std::collections::HashMap;
+
+/// The protocol-wide permutation-family seed (all peers must agree).
+pub const FAMILY_SEED: u64 = 0x1CD0_F00D;
+
+/// A peer's inventory of encoded symbols with live summaries.
+#[derive(Debug, Clone)]
+pub struct WorkingSet {
+    symbols: HashMap<SymbolId, Bytes>,
+    sketch: MinwiseSketch,
+    tree: ReconciliationTree,
+    family: PermutationFamily,
+}
+
+impl Default for WorkingSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkingSet {
+    /// Creates an empty working set with the standard (1 KB) sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        let family = PermutationFamily::standard(FAMILY_SEED);
+        Self {
+            sketch: MinwiseSketch::new(&family),
+            tree: ReconciliationTree::new(ArtParams::default()),
+            symbols: HashMap::new(),
+            family,
+        }
+    }
+
+    /// Builds a working set from symbols.
+    #[must_use]
+    pub fn from_symbols<I: IntoIterator<Item = EncodedSymbol>>(symbols: I) -> Self {
+        let mut ws = Self::new();
+        for s in symbols {
+            ws.insert(s);
+        }
+        ws
+    }
+
+    /// Inserts a symbol; returns `false` (and changes nothing) if the id
+    /// was already present. Sketch and tree update incrementally.
+    pub fn insert(&mut self, symbol: EncodedSymbol) -> bool {
+        if self.symbols.contains_key(&symbol.id) {
+            return false;
+        }
+        self.sketch.insert(&self.family, symbol.id);
+        self.tree.insert(symbol.id);
+        self.symbols.insert(symbol.id, symbol.payload);
+        true
+    }
+
+    /// Number of symbols held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if no symbols are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Whether symbol `id` is present.
+    #[must_use]
+    pub fn contains(&self, id: SymbolId) -> bool {
+        self.symbols.contains_key(&id)
+    }
+
+    /// Payload of symbol `id`, if held.
+    #[must_use]
+    pub fn payload(&self, id: SymbolId) -> Option<&Bytes> {
+        self.symbols.get(&id)
+    }
+
+    /// All symbol ids (unordered).
+    pub fn ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.symbols.keys().copied()
+    }
+
+    /// Materializes the symbols (unordered).
+    pub fn symbols(&self) -> impl Iterator<Item = EncodedSymbol> + '_ {
+        self.symbols.iter().map(|(&id, payload)| EncodedSymbol {
+            id,
+            payload: payload.clone(),
+        })
+    }
+
+    /// The live min-wise sketch (the §4 calling card).
+    #[must_use]
+    pub fn sketch(&self) -> &MinwiseSketch {
+        &self.sketch
+    }
+
+    /// Estimates overlap with a peer from its sketch (`self` = A,
+    /// `peer` = B).
+    #[must_use]
+    pub fn estimate_against(&self, peer_sketch: &MinwiseSketch) -> OverlapEstimate {
+        self.sketch.estimate(peer_sketch)
+    }
+
+    /// Builds a Bloom filter over the current ids at `bits_per_element`.
+    #[must_use]
+    pub fn bloom_summary(&self, bits_per_element: f64) -> BloomFilter {
+        let mut f = BloomFilter::with_bits_per_element(
+            self.symbols.len().max(1),
+            bits_per_element,
+            0xF117E5,
+        );
+        for &id in self.symbols.keys() {
+            f.insert(id);
+        }
+        f
+    }
+
+    /// Builds an ART summary of the current ids.
+    #[must_use]
+    pub fn art_summary(&self, params: SummaryParams) -> ArtSummary {
+        ArtSummary::build(&self.tree, params)
+    }
+
+    /// The live reconciliation tree (for searching a peer's summary).
+    #[must_use]
+    pub fn tree(&self) -> &ReconciliationTree {
+        &self.tree
+    }
+
+    /// Symbols this peer holds that `peer_summary` proves the peer lacks
+    /// — the "reconciled transfer" input (§3).
+    #[must_use]
+    pub fn missing_at_peer(&self, peer_summary: &ArtSummary) -> Vec<SymbolId> {
+        icd_art::search_differences(&self.tree, peer_summary).missing_at_peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+    fn sym(id: SymbolId) -> EncodedSymbol {
+        EncodedSymbol {
+            id,
+            payload: Bytes::from(id.to_le_bytes().to_vec()),
+        }
+    }
+
+    fn filled(range: std::ops::Range<u64>, seed: u64) -> WorkingSet {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        WorkingSet::from_symbols(range.map(|_| sym(rng.next_u64())))
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut ws = WorkingSet::new();
+        assert!(ws.is_empty());
+        assert!(ws.insert(sym(7)));
+        assert!(!ws.insert(sym(7)), "duplicate rejected");
+        assert_eq!(ws.len(), 1);
+        assert!(ws.contains(7));
+        assert_eq!(ws.payload(7).expect("present").as_ref(), &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn sketch_tracks_contents_incrementally() {
+        let mut a = WorkingSet::new();
+        let mut rng = Xoshiro256StarStar::new(1);
+        let ids: Vec<u64> = (0..300).map(|_| rng.next_u64()).collect();
+        for &id in &ids {
+            a.insert(sym(id));
+        }
+        let b = WorkingSet::from_symbols(ids.iter().map(|&id| sym(id)));
+        // Same contents → identical sketches and identical tree roots.
+        assert_eq!(a.sketch().minima(), b.sketch().minima());
+        assert_eq!(a.tree().root_value(), b.tree().root_value());
+        let est = a.estimate_against(b.sketch());
+        assert_eq!(est.resemblance(), 1.0);
+        assert!(est.is_identical(0.01), "admission control should reject");
+    }
+
+    #[test]
+    fn estimate_tracks_partial_overlap() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let shared: Vec<u64> = (0..500).map(|_| rng.next_u64()).collect();
+        let mut a = WorkingSet::from_symbols(shared.iter().map(|&id| sym(id)));
+        let mut b = WorkingSet::from_symbols(shared.iter().map(|&id| sym(id)));
+        for _ in 0..500 {
+            a.insert(sym(rng.next_u64()));
+            b.insert(sym(rng.next_u64()));
+        }
+        let est = a.estimate_against(b.sketch());
+        // True resemblance = 500/1500.
+        assert!((est.resemblance() - 1.0 / 3.0).abs() < 0.1, "r = {}", est.resemblance());
+        assert!(!est.is_identical(0.01));
+    }
+
+    #[test]
+    fn bloom_summary_covers_contents() {
+        let ws = filled(0..1000, 3);
+        let filter = ws.bloom_summary(8.0);
+        for id in ws.ids() {
+            assert!(filter.contains(id));
+        }
+    }
+
+    #[test]
+    fn art_reconciliation_between_working_sets() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let shared: Vec<u64> = (0..2000).map(|_| rng.next_u64()).collect();
+        let a = WorkingSet::from_symbols(shared.iter().map(|&id| sym(id)));
+        let mut b = WorkingSet::from_symbols(shared.iter().map(|&id| sym(id)));
+        let fresh: Vec<u64> = (0..100).map(|_| rng.next_u64()).collect();
+        for &id in &fresh {
+            b.insert(sym(id));
+        }
+        let summary = a.art_summary(SummaryParams::standard());
+        let found = b.missing_at_peer(&summary);
+        assert!(!found.is_empty());
+        // One-sided error: everything found is genuinely missing at A.
+        for id in &found {
+            assert!(!a.contains(*id));
+            assert!(fresh.contains(id));
+        }
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        let ws = filled(0..50, 5);
+        let collected: Vec<EncodedSymbol> = ws.symbols().collect();
+        assert_eq!(collected.len(), 50);
+        let rebuilt = WorkingSet::from_symbols(collected);
+        assert_eq!(rebuilt.tree().root_value(), ws.tree().root_value());
+    }
+}

@@ -1,0 +1,219 @@
+//! Source-block handling: partitioning content and reassembling it.
+//!
+//! §6.1's reference workload: "A 32MB test file was divided into 23,968
+//! source blocks of 1400 bytes" — 1400 bytes being a payload that fits a
+//! standard Ethernet MTU after headers. [`SourceBlocks`] performs that
+//! split (zero-padding the tail block) and the inverse.
+
+use bytes::Bytes;
+
+/// Identifier of an encoded symbol: the 64-bit value from which the
+/// symbol's neighbor set is derived, and the key that working sets,
+/// sketches, and filters operate on.
+pub type SymbolId = u64;
+
+/// The paper's block size (bytes) for the 32 MB reference file.
+pub const PAPER_BLOCK_SIZE: usize = 1400;
+
+/// Content partitioned into equal-size source blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceBlocks {
+    blocks: Vec<Bytes>,
+    block_size: usize,
+    content_len: usize,
+}
+
+impl SourceBlocks {
+    /// Splits `content` into blocks of `block_size` bytes, zero-padding
+    /// the final block. Empty content yields a single zero block so that
+    /// downstream invariants (`num_blocks ≥ 1`) hold unconditionally.
+    ///
+    /// Panics if `block_size == 0`.
+    #[must_use]
+    pub fn split(content: &[u8], block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let content_len = content.len();
+        let mut blocks: Vec<Bytes> = content
+            .chunks(block_size)
+            .map(|chunk| {
+                if chunk.len() == block_size {
+                    Bytes::copy_from_slice(chunk)
+                } else {
+                    let mut padded = Vec::with_capacity(block_size);
+                    padded.extend_from_slice(chunk);
+                    padded.resize(block_size, 0);
+                    Bytes::from(padded)
+                }
+            })
+            .collect();
+        if blocks.is_empty() {
+            blocks.push(Bytes::from(vec![0u8; block_size]));
+        }
+        Self {
+            blocks,
+            block_size,
+            content_len,
+        }
+    }
+
+    /// Wraps pre-made blocks (decoder output) with the original length so
+    /// [`SourceBlocks::reassemble`] can strip the padding.
+    ///
+    /// Panics if blocks are missing, unequal in size, or too short to
+    /// cover `content_len`.
+    #[must_use]
+    pub fn from_blocks(blocks: Vec<Bytes>, block_size: usize, content_len: usize) -> Self {
+        assert!(!blocks.is_empty(), "at least one block required");
+        assert!(
+            blocks.iter().all(|b| b.len() == block_size),
+            "all blocks must have length {block_size}"
+        );
+        assert!(
+            blocks.len() * block_size >= content_len,
+            "blocks cover {} bytes, need {content_len}",
+            blocks.len() * block_size
+        );
+        Self {
+            blocks,
+            block_size,
+            content_len,
+        }
+    }
+
+    /// Number of source blocks, `l` in the paper's notation.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Size of each block in bytes.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Length of the original content (before padding).
+    #[must_use]
+    pub fn content_len(&self) -> usize {
+        self.content_len
+    }
+
+    /// The blocks themselves.
+    #[must_use]
+    pub fn blocks(&self) -> &[Bytes] {
+        &self.blocks
+    }
+
+    /// Block `i`.
+    #[must_use]
+    pub fn block(&self, i: usize) -> &Bytes {
+        &self.blocks[i]
+    }
+
+    /// Reconstructs the original byte string (padding stripped).
+    #[must_use]
+    pub fn reassemble(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.content_len);
+        for b in &self.blocks {
+            out.extend_from_slice(b);
+        }
+        out.truncate(self.content_len);
+        out
+    }
+}
+
+/// XORs `src` into `dst` in place. Panics on length mismatch: symbols in
+/// one code always share a block size, so a mismatch is a protocol error.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "XOR of unequal-length buffers");
+    // Word-at-a-time XOR; the compiler vectorizes this loop.
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_reassemble_roundtrip() {
+        for len in [0usize, 1, 99, 100, 101, 1399, 1400, 1401, 10_000] {
+            let content: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let sb = SourceBlocks::split(&content, 100);
+            assert_eq!(sb.reassemble(), content, "roundtrip at len {len}");
+        }
+    }
+
+    #[test]
+    fn block_count_and_padding() {
+        let content = vec![7u8; 250];
+        let sb = SourceBlocks::split(&content, 100);
+        assert_eq!(sb.num_blocks(), 3);
+        assert_eq!(sb.block_size(), 100);
+        assert_eq!(sb.content_len(), 250);
+        // Tail block is padded with zeros.
+        assert_eq!(&sb.block(2)[..50], &[7u8; 50][..]);
+        assert_eq!(&sb.block(2)[50..], &[0u8; 50][..]);
+    }
+
+    #[test]
+    fn empty_content_yields_one_zero_block() {
+        let sb = SourceBlocks::split(&[], 64);
+        assert_eq!(sb.num_blocks(), 1);
+        assert_eq!(sb.reassemble(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn paper_reference_geometry() {
+        // §6.1: 32 MB at 1400-byte blocks → 23,968 source blocks.
+        let len: usize = 32 * 1024 * 1024;
+        let blocks = (len as usize).div_ceil(PAPER_BLOCK_SIZE);
+        assert_eq!(blocks, 23_968);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        let _ = SourceBlocks::split(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn from_blocks_validates() {
+        let blocks = vec![Bytes::from(vec![1u8; 10]), Bytes::from(vec![2u8; 10])];
+        let sb = SourceBlocks::from_blocks(blocks, 10, 15);
+        assert_eq!(sb.reassemble().len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "all blocks must have length")]
+    fn from_blocks_rejects_ragged() {
+        let blocks = vec![Bytes::from(vec![1u8; 10]), Bytes::from(vec![2u8; 9])];
+        let _ = SourceBlocks::from_blocks(blocks, 10, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 100")]
+    fn from_blocks_rejects_short_coverage() {
+        let blocks = vec![Bytes::from(vec![1u8; 10])];
+        let _ = SourceBlocks::from_blocks(blocks, 10, 100);
+    }
+
+    #[test]
+    fn xor_into_is_involution() {
+        let a: Vec<u8> = (0..=255).collect();
+        let b: Vec<u8> = (0..=255).rev().collect();
+        let mut acc = a.clone();
+        xor_into(&mut acc, &b);
+        assert_ne!(acc, a);
+        xor_into(&mut acc, &b);
+        assert_eq!(acc, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal-length")]
+    fn xor_length_mismatch_panics() {
+        let mut a = vec![0u8; 4];
+        xor_into(&mut a, &[0u8; 5]);
+    }
+}

@@ -1,0 +1,619 @@
+//! Recoded content (§5.4.2).
+//!
+//! A **recoded symbol** is the XOR of a set of *encoded* symbols,
+//! accompanied by the list of their ids. A partial sender — one that
+//! cannot decode yet, so cannot run a fresh fountain — blends the symbols
+//! it does hold so that a correlated receiver is unlikely to get pure
+//! redundancy. Decoding recoded symbols uses the same substitution rule
+//! as the base code, one level up: known encoded symbols are XORed out,
+//! and a recoded symbol reduced to one unknown component yields that
+//! encoded symbol (the paper's y₅/y₈/y₁₃ worked example is a unit test
+//! below).
+//!
+//! Degree selection: with estimated containment `c` (fraction of the
+//! sender's set the receiver already has), the probability that a
+//! degree-`d` recoded symbol is *immediately* useful is
+//! `P(d) = C(cn, d−1)·(1−c)n / C(n, d)`, maximized at
+//! `d* ≈ c/(1−c) + 1`. (The paper's printed formula transposes `c` and
+//! `1−c`; DESIGN.md documents the erratum and the derivation.) Because a
+//! locally optimal degree risks total redundancy, the paper uses `d*` as
+//! a *lower limit* and draws degrees between it and the cap; the
+//! Recode/MW strategy instead scales an obliviously drawn degree by
+//! `1/(1−c)`. Both policies are implemented and compared in the Figure
+//! 5–8 experiments.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+use icd_util::rng::Rng64;
+
+use crate::block::{xor_into, SymbolId};
+use crate::degree::DegreeDistribution;
+use crate::encoder::EncodedSymbol;
+
+/// The paper's recoding degree cap: "a degree limit of 50" (§6.1).
+pub const PAPER_DEGREE_LIMIT: usize = 50;
+
+/// A recoded symbol: XOR of the listed encoded symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecodedSymbol {
+    /// Ids of the encoded symbols blended in, sorted and distinct.
+    pub components: Vec<SymbolId>,
+    /// XOR of the component payloads.
+    pub payload: Bytes,
+}
+
+impl RecodedSymbol {
+    /// Degree of the recoded symbol.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Wire size: 2-byte count + 8 bytes per listed id + payload. "These
+    /// lists can be stored concisely in packet headers" (§5.4.2); with
+    /// the degree cap of 50 the header stays ≤ 402 bytes.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        2 + 8 * self.components.len() + self.payload.len()
+    }
+}
+
+/// Degree-selection policy for a recoding sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecodePolicy {
+    /// No correlation knowledge: draw from the capped base distribution
+    /// (the paper's plain "Recode" strategy).
+    Oblivious,
+    /// Min-wise estimate available: scale a drawn degree `d` to
+    /// `⌊d / (1−c)⌋`, subject to the cap ("Recode/MW", §6.2).
+    MinwiseScaled {
+        /// Estimated containment `c = |A∩B| / |B|`.
+        containment: f64,
+    },
+    /// Degree drawn between the immediate-utility optimum `d*(c)` and the
+    /// cap (§5.4.2's "lower limit" rule).
+    LowerBounded {
+        /// Estimated containment `c = |A∩B| / |B|`.
+        containment: f64,
+    },
+}
+
+/// The degree maximizing immediate usefulness:
+/// `d* = ⌈(c·n + 1) / ((1−c)·n)⌉`, clamped to `[1, n]`.
+#[must_use]
+pub fn optimal_degree(n: usize, containment: f64) -> usize {
+    assert!(n >= 1, "working set must be non-empty");
+    let c = containment.clamp(0.0, 1.0);
+    let nf = n as f64;
+    let denom = (1.0 - c) * nf;
+    if denom < 1.0 {
+        // Receiver has (almost) everything we do; blend maximally.
+        return n;
+    }
+    let d = ((c * nf + 1.0) / denom).ceil() as usize;
+    d.clamp(1, n)
+}
+
+/// Probability that a degree-`d` recoded symbol over a working set of `n`
+/// symbols with containment `c` immediately yields a new encoded symbol:
+/// exactly `d−1` components known to the receiver and one unknown.
+///
+/// Computed in log space; exact hypergeometric term, no approximation.
+#[must_use]
+pub fn immediately_useful_probability(n: usize, containment: f64, d: usize) -> f64 {
+    let c = containment.clamp(0.0, 1.0);
+    let known = (c * n as f64).round() as usize;
+    let unknown = n - known.min(n);
+    if d == 0 || d > n || unknown == 0 || d - 1 > known {
+        return 0.0;
+    }
+    // ln [ C(known, d-1) * unknown / C(n, d) ]
+    let ln = ln_choose(known, d - 1) + (unknown as f64).ln() - ln_choose(n, d);
+    ln.exp()
+}
+
+/// `ln C(m, k)` via the product form — exact enough for k ≤ cap (50).
+fn ln_choose(m: usize, k: usize) -> f64 {
+    if k > m {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(m - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((m - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// A recoding sender over a working set of encoded symbols.
+#[derive(Debug, Clone)]
+pub struct Recoder {
+    symbols: Vec<EncodedSymbol>,
+    distribution: DegreeDistribution,
+    policy: RecodePolicy,
+    cap: usize,
+}
+
+impl Recoder {
+    /// Creates a recoder over `symbols` with degree cap `cap` (the paper
+    /// uses [`PAPER_DEGREE_LIMIT`]) and the given policy.
+    ///
+    /// Panics if `symbols` is empty — a peer with nothing to send must
+    /// not open a recoding session.
+    #[must_use]
+    pub fn new(symbols: Vec<EncodedSymbol>, cap: usize, policy: RecodePolicy) -> Self {
+        assert!(!symbols.is_empty(), "recoder needs a non-empty working set");
+        assert!(cap >= 1, "degree cap must be at least 1");
+        let n = symbols.len();
+        let cap = cap.min(n);
+        let distribution = DegreeDistribution::paper_default(n).capped(cap);
+        Self {
+            symbols,
+            distribution,
+            policy,
+            cap,
+        }
+    }
+
+    /// Working-set size `n = |B_F|`.
+    #[must_use]
+    pub fn working_set_size(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The effective degree cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Draws the degree for the next symbol according to the policy.
+    fn draw_degree<R: Rng64>(&self, rng: &mut R) -> usize {
+        let base = self.distribution.sample(rng);
+        let n = self.symbols.len();
+        match self.policy {
+            RecodePolicy::Oblivious => base.min(self.cap),
+            RecodePolicy::MinwiseScaled { containment } => {
+                let c = containment.clamp(0.0, 0.999);
+                // §6.2: degree ⌊d / (1−c)⌋, subject to the maximum degree.
+                let scaled = ((base as f64) / (1.0 - c)).floor() as usize;
+                scaled.clamp(1, self.cap)
+            }
+            RecodePolicy::LowerBounded { containment } => {
+                let lo = optimal_degree(n, containment).min(self.cap);
+                base.clamp(lo, self.cap)
+            }
+        }
+    }
+
+    /// Generates one recoded symbol.
+    #[must_use]
+    pub fn generate<R: Rng64>(&self, rng: &mut R) -> RecodedSymbol {
+        let d = self.draw_degree(rng).min(self.symbols.len()).max(1);
+        let mut picks = rng.sample_distinct(self.symbols.len(), d);
+        picks.sort_unstable();
+        let payload_len = self.symbols[0].payload.len();
+        let mut payload = vec![0u8; payload_len];
+        let mut components = Vec::with_capacity(d);
+        for &i in &picks {
+            let sym = &self.symbols[i];
+            components.push(sym.id);
+            xor_into(&mut payload, &sym.payload);
+        }
+        components.sort_unstable();
+        RecodedSymbol {
+            components,
+            payload: Bytes::from(payload),
+        }
+    }
+}
+
+/// Receiver-side substitution buffer for recoded symbols.
+///
+/// Tracks which encoded symbols the receiver knows (with payloads),
+/// buffers unresolved recoded symbols, and cascades: a recovered encoded
+/// symbol may unlock further recoded symbols, exactly like the base
+/// decoder's ripple but one level up.
+#[derive(Debug, Clone, Default)]
+pub struct RecodeBuffer {
+    known: HashMap<SymbolId, Bytes>,
+    pending: Vec<Option<PendingRecoded>>,
+    watchers: HashMap<SymbolId, Vec<u32>>,
+    /// Recoded symbols that arrived fully known (pure redundancy).
+    redundant: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRecoded {
+    remaining: Vec<SymbolId>,
+    payload: Vec<u8>,
+}
+
+impl RecodeBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the buffer with an encoded symbol the receiver already
+    /// holds, cascading through any pending recoded symbols. Returns
+    /// encoded symbols newly recovered by the cascade (excluding `sym`
+    /// itself, which the caller evidently has).
+    pub fn add_known(&mut self, sym: &EncodedSymbol) -> Vec<EncodedSymbol> {
+        self.resolve(sym.id, sym.payload.clone(), false)
+    }
+
+    /// Whether an encoded symbol id is known.
+    #[must_use]
+    pub fn knows(&self, id: SymbolId) -> bool {
+        self.known.contains_key(&id)
+    }
+
+    /// Number of known encoded symbols.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Iterates over the ids of all known encoded symbols (arbitrary
+    /// order). Used by receivers re-handshaking after a migration.
+    pub fn known_ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.known.keys().copied()
+    }
+
+    /// Unresolved recoded symbols currently buffered.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Recoded symbols that arrived with every component already known.
+    #[must_use]
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Receives a recoded symbol; returns all encoded symbols recovered
+    /// as a consequence (possibly none — buffered — or several, via
+    /// cascade).
+    pub fn receive(&mut self, rec: &RecodedSymbol) -> Vec<EncodedSymbol> {
+        assert!(!rec.components.is_empty(), "recoded symbol with no components");
+        let mut payload = rec.payload.to_vec();
+        let mut remaining: Vec<SymbolId> = Vec::with_capacity(rec.components.len());
+        for id in &rec.components {
+            match self.known.get(id) {
+                Some(known_payload) => xor_into(&mut payload, known_payload),
+                None => remaining.push(*id),
+            }
+        }
+        match remaining.len() {
+            0 => {
+                self.redundant += 1;
+                Vec::new()
+            }
+            1 => self.resolve(remaining[0], Bytes::from(payload), true),
+            _ => {
+                let slot = u32::try_from(self.pending.len()).expect("pending overflow");
+                for id in &remaining {
+                    self.watchers.entry(*id).or_default().push(slot);
+                }
+                self.pending.push(Some(PendingRecoded { remaining, payload }));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Marks `id` known with `payload` and cascades. `report_seed`
+    /// controls whether the seeded symbol itself counts as recovered
+    /// (true when it arrived inside a recoded symbol, false when the
+    /// caller already held it); cascade recoveries are always reported.
+    fn resolve(&mut self, id: SymbolId, payload: Bytes, report_seed: bool) -> Vec<EncodedSymbol> {
+        let mut recovered = Vec::new();
+        let mut queue: Vec<(SymbolId, Bytes, bool)> = vec![(id, payload, report_seed)];
+        while let Some((id, data, report)) = queue.pop() {
+            if self.known.contains_key(&id) {
+                continue;
+            }
+            self.known.insert(id, data.clone());
+            if report {
+                recovered.push(EncodedSymbol {
+                    id,
+                    payload: data.clone(),
+                });
+            }
+            let Some(watchers) = self.watchers.remove(&id) else {
+                continue;
+            };
+            for slot in watchers {
+                let Some(p) = self.pending[slot as usize].as_mut() else {
+                    continue;
+                };
+                let Some(pos) = p.remaining.iter().position(|x| *x == id) else {
+                    continue;
+                };
+                p.remaining.swap_remove(pos);
+                xor_into(&mut p.payload, &data);
+                match p.remaining.len() {
+                    0 => {
+                        // Fully consumed without yielding — redundant in
+                        // hindsight.
+                        self.pending[slot as usize] = None;
+                        self.redundant += 1;
+                    }
+                    1 => {
+                        let p = self.pending[slot as usize].take().expect("checked above");
+                        queue.push((p.remaining[0], Bytes::from(p.payload), true));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        recovered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{DecodeStatus, Decoder};
+    use crate::encoder::Encoder;
+    use icd_util::rng::{SplitMix64, Xoshiro256StarStar};
+
+    fn sym(id: SymbolId, byte: u8) -> EncodedSymbol {
+        EncodedSymbol {
+            id,
+            payload: Bytes::from(vec![byte; 4]),
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §5.4.2: "a peer with output symbols y5, y8 and y13 can generate
+        // recoded symbols z1 = y13, z2 = y5 ⊕ y8 and z3 = y5 ⊕ y13. A
+        // peer that receives z1, z2 and z3 can immediately recover y13.
+        // Then by substituting y13 into z3, the peer can recover y5, and
+        // similarly, can recover y8 from z2."
+        let y5 = sym(5, 0x50);
+        let y8 = sym(8, 0x80);
+        let y13 = sym(13, 0xD0);
+        let z1 = RecodedSymbol {
+            components: vec![13],
+            payload: y13.payload.clone(),
+        };
+        let mut z2p = y5.payload.to_vec();
+        xor_into(&mut z2p, &y8.payload);
+        let z2 = RecodedSymbol {
+            components: vec![5, 8],
+            payload: Bytes::from(z2p),
+        };
+        let mut z3p = y5.payload.to_vec();
+        xor_into(&mut z3p, &y13.payload);
+        let z3 = RecodedSymbol {
+            components: vec![5, 13],
+            payload: Bytes::from(z3p),
+        };
+
+        let mut buf = RecodeBuffer::new();
+        assert!(buf.receive(&z2).is_empty(), "z2 buffered");
+        assert!(buf.receive(&z3).is_empty(), "z3 buffered");
+        // z1 recovers y13 → z3 yields y5 → z2 yields y8.
+        let got = buf.receive(&z1);
+        let ids: std::collections::HashSet<SymbolId> = got.iter().map(|s| s.id).collect();
+        assert_eq!(ids, [13u64, 5, 8].into_iter().collect());
+        let by_id: HashMap<SymbolId, &EncodedSymbol> = got.iter().map(|s| (s.id, s)).collect();
+        assert_eq!(by_id[&5].payload, y5.payload);
+        assert_eq!(by_id[&8].payload, y8.payload);
+        assert_eq!(by_id[&13].payload, y13.payload);
+    }
+
+    #[test]
+    fn fully_known_recoded_symbol_is_redundant() {
+        let mut buf = RecodeBuffer::new();
+        let a = sym(1, 1);
+        let b = sym(2, 2);
+        buf.add_known(&a);
+        buf.add_known(&b);
+        let mut p = a.payload.to_vec();
+        xor_into(&mut p, &b.payload);
+        let rec = RecodedSymbol {
+            components: vec![1, 2],
+            payload: Bytes::from(p),
+        };
+        assert!(buf.receive(&rec).is_empty());
+        assert_eq!(buf.redundant_count(), 1);
+    }
+
+    #[test]
+    fn recovered_payloads_match_originals() {
+        // End-to-end: sender working set → recoded stream → receiver
+        // recovers symbols byte-identical to the sender's.
+        let mut rng = Xoshiro256StarStar::new(1);
+        let data: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
+        let enc = Encoder::for_content(&data, 100, 2);
+        let sender_set: Vec<EncodedSymbol> = enc.stream(10).take(60).collect();
+        let originals: HashMap<SymbolId, Bytes> =
+            sender_set.iter().map(|s| (s.id, s.payload.clone())).collect();
+        let recoder = Recoder::new(sender_set.clone(), 10, RecodePolicy::Oblivious);
+        let mut buf = RecodeBuffer::new();
+        // Receiver knows half the sender's set already.
+        for s in &sender_set[..30] {
+            buf.add_known(s);
+        }
+        let mut recovered = 0usize;
+        for _ in 0..2000 {
+            let rec = recoder.generate(&mut rng);
+            for got in buf.receive(&rec) {
+                assert_eq!(got.payload, originals[&got.id], "payload corrupted for {}", got.id);
+                recovered += 1;
+            }
+            if buf.known_count() == sender_set.len() {
+                break;
+            }
+        }
+        assert_eq!(
+            buf.known_count(),
+            sender_set.len(),
+            "receiver should learn the full working set (recovered {recovered})"
+        );
+    }
+
+    #[test]
+    fn recode_then_decode_end_to_end() {
+        // Receiver decodes the *file* using only recoded symbols from a
+        // partial sender plus its own partial set.
+        let data: Vec<u8> = SplitMix64::new(3)
+            .next_u64()
+            .to_le_bytes()
+            .iter()
+            .cycle()
+            .take(3000)
+            .copied()
+            .collect();
+        let enc = Encoder::for_content(&data, 50, 4);
+        let n = enc.spec().num_blocks();
+        // Sender holds 2n distinct symbols (ample for peeling at this
+        // small n, where overhead variance is large); receiver starts
+        // with 0.4n of them.
+        let universe: Vec<EncodedSymbol> = enc.stream(20).take(n * 2).collect();
+        let receiver_start = &universe[..(2 * n / 5)];
+        let mut decoder = Decoder::new(enc.spec().clone());
+        let mut buf = RecodeBuffer::new();
+        for s in receiver_start {
+            buf.add_known(s);
+            let _ = decoder.receive(s);
+        }
+        let recoder = Recoder::new(universe.clone(), 25, RecodePolicy::Oblivious);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mut done = decoder.is_complete();
+        let mut iterations = 0;
+        while !done {
+            iterations += 1;
+            assert!(iterations < 100_000, "recode transfer failed to converge");
+            let rec = recoder.generate(&mut rng);
+            for got in buf.receive(&rec) {
+                if matches!(decoder.receive(&got), DecodeStatus::Complete) {
+                    done = true;
+                }
+            }
+        }
+        assert_eq!(decoder.into_content(data.len()).expect("complete"), data);
+    }
+
+    #[test]
+    fn optimal_degree_matches_brute_force() {
+        let n = 1000;
+        for &c in &[0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+            let d_star = optimal_degree(n, c);
+            let p_star = immediately_useful_probability(n, c, d_star);
+            // Brute force over a window.
+            let (best_d, best_p) = (1..=60)
+                .map(|d| (d, immediately_useful_probability(n, c, d)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty");
+            assert!(
+                p_star >= best_p * 0.999 || (d_star as i64 - best_d as i64).abs() <= 1,
+                "c={c}: d*={d_star} (p={p_star:.5}) vs brute {best_d} (p={best_p:.5})"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_degree_grows_with_containment() {
+        let n = 1000;
+        assert_eq!(optimal_degree(n, 0.0), 1);
+        let seq: Vec<usize> = [0.0, 0.5, 0.8, 0.9, 0.95]
+            .iter()
+            .map(|&c| optimal_degree(n, c))
+            .collect();
+        assert!(seq.windows(2).all(|w| w[0] <= w[1]), "{seq:?}");
+        assert!(optimal_degree(n, 0.9) >= 9);
+        assert_eq!(optimal_degree(10, 1.0), 10, "full containment blends everything");
+    }
+
+    #[test]
+    fn useful_probability_sane() {
+        // c=0: degree 1 is always immediately useful.
+        assert!((immediately_useful_probability(100, 0.0, 1) - 1.0).abs() < 1e-9);
+        // c=0: degree 2 can never be (two unknowns).
+        assert_eq!(immediately_useful_probability(100, 0.0, 2), 0.0);
+        // Full containment: nothing new can emerge.
+        assert_eq!(immediately_useful_probability(100, 1.0, 5), 0.0);
+        // Probabilities bounded.
+        for d in 1..=50 {
+            let p = immediately_useful_probability(200, 0.6, d);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn minwise_scaling_raises_degrees() {
+        let symbols: Vec<EncodedSymbol> = (0..200).map(|i| sym(i, i as u8)).collect();
+        let mut rng = Xoshiro256StarStar::new(6);
+        let oblivious = Recoder::new(symbols.clone(), 50, RecodePolicy::Oblivious);
+        let scaled = Recoder::new(
+            symbols,
+            50,
+            RecodePolicy::MinwiseScaled { containment: 0.5 },
+        );
+        let avg = |r: &Recoder, rng: &mut Xoshiro256StarStar| {
+            (0..500).map(|_| r.generate(rng).degree()).sum::<usize>() as f64 / 500.0
+        };
+        let a = avg(&oblivious, &mut rng);
+        let b = avg(&scaled, &mut rng);
+        assert!(b > a * 1.3, "scaled avg degree {b} vs oblivious {a}");
+    }
+
+    #[test]
+    fn lower_bounded_policy_enforces_floor() {
+        let symbols: Vec<EncodedSymbol> = (0..500).map(|i| sym(i, i as u8)).collect();
+        let c = 0.9;
+        let lo = optimal_degree(500, c);
+        let r = Recoder::new(symbols, 50, RecodePolicy::LowerBounded { containment: c });
+        let mut rng = Xoshiro256StarStar::new(7);
+        for _ in 0..500 {
+            let d = r.generate(&mut rng).degree();
+            assert!(d >= lo && d <= 50, "degree {d} outside [{lo}, 50]");
+        }
+    }
+
+    #[test]
+    fn components_are_sorted_distinct_members() {
+        let symbols: Vec<EncodedSymbol> = (0..100).map(|i| sym(i * 3, i as u8)).collect();
+        let ids: std::collections::HashSet<SymbolId> = symbols.iter().map(|s| s.id).collect();
+        let r = Recoder::new(symbols, 20, RecodePolicy::Oblivious);
+        let mut rng = Xoshiro256StarStar::new(8);
+        for _ in 0..200 {
+            let rec = r.generate(&mut rng);
+            assert!(rec.components.windows(2).all(|w| w[0] < w[1]));
+            assert!(rec.components.iter().all(|id| ids.contains(id)));
+            assert!(rec.degree() >= 1 && rec.degree() <= 20);
+        }
+    }
+
+    #[test]
+    fn wire_size_within_header_budget() {
+        let symbols: Vec<EncodedSymbol> = (0..100).map(|i| sym(i, 0)).collect();
+        let r = Recoder::new(symbols, PAPER_DEGREE_LIMIT, RecodePolicy::Oblivious);
+        let mut rng = Xoshiro256StarStar::new(9);
+        let rec = r.generate(&mut rng);
+        assert!(rec.wire_size() <= 2 + 8 * PAPER_DEGREE_LIMIT + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty working set")]
+    fn empty_working_set_rejected() {
+        let _ = Recoder::new(vec![], 10, RecodePolicy::Oblivious);
+    }
+
+    #[test]
+    #[should_panic(expected = "no components")]
+    fn empty_recoded_symbol_rejected() {
+        let mut buf = RecodeBuffer::new();
+        let _ = buf.receive(&RecodedSymbol {
+            components: vec![],
+            payload: Bytes::new(),
+        });
+    }
+}

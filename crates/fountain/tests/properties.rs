@@ -1,0 +1,102 @@
+//! Property-based tests for the codec: exact reconstruction across
+//! arbitrary geometry, encoder determinism, and recode-buffer soundness.
+
+use bytes::Bytes;
+use icd_fountain::{
+    CodeSpec, DecodeStatus, Decoder, EncodedSymbol, Encoder, RecodeBuffer, RecodePolicy,
+    RecodedSymbol, Recoder,
+};
+use icd_util::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn encoder_is_a_pure_function_of_id(
+        content in proptest::collection::vec(any::<u8>(), 1..2000),
+        block_size in 8usize..128,
+        seed in any::<u64>(),
+        id in any::<u64>(),
+    ) {
+        let e1 = Encoder::for_content(&content, block_size, seed);
+        let e2 = Encoder::for_content(&content, block_size, seed);
+        prop_assert_eq!(e1.symbol(id), e2.symbol(id));
+        prop_assert_eq!(e1.spec().neighbors(id), e2.spec().neighbors(id));
+    }
+
+    #[test]
+    fn neighbors_are_valid(num_blocks in 1usize..500, seed in any::<u64>(), id in any::<u64>()) {
+        let spec = CodeSpec::new(num_blocks, 4, seed);
+        let n = spec.neighbors(id);
+        prop_assert!(!n.is_empty());
+        prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(n.iter().all(|&b| b < num_blocks));
+    }
+
+    #[test]
+    fn out_of_order_delivery_still_decodes(
+        content in proptest::collection::vec(any::<u8>(), 100..1500),
+        block_size in 16usize..100,
+        seed in any::<u64>(),
+    ) {
+        let encoder = Encoder::for_content(&content, block_size, seed);
+        let l = encoder.spec().num_blocks();
+        // Collect a generous batch, then deliver shuffled.
+        let mut symbols: Vec<EncodedSymbol> = encoder.stream(seed ^ 1).take(3 * l + 30).collect();
+        let mut rng = Xoshiro256StarStar::new(seed ^ 2);
+        icd_util::rng::Rng64::shuffle(&mut rng, &mut symbols);
+        let mut dec = Decoder::new(encoder.spec().clone());
+        let mut done = false;
+        for sym in &symbols {
+            if matches!(dec.receive(sym), DecodeStatus::Complete) {
+                done = true;
+                break;
+            }
+        }
+        prop_assert!(done, "3l + 30 symbols should decode");
+        prop_assert_eq!(dec.into_content(content.len()).unwrap(), content);
+    }
+
+    #[test]
+    fn recode_buffer_only_reveals_true_symbols(
+        n_symbols in 3usize..60,
+        known_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // Recoded packets over a working set can only ever resolve to
+        // symbols of that working set, with their exact payloads.
+        let symbols: Vec<EncodedSymbol> = (0..n_symbols as u64)
+            .map(|i| EncodedSymbol {
+                id: i * 7 + 1,
+                payload: Bytes::from(vec![(i % 256) as u8; 8]),
+            })
+            .collect();
+        let truth: std::collections::HashMap<u64, Bytes> =
+            symbols.iter().map(|s| (s.id, s.payload.clone())).collect();
+        let recoder = Recoder::new(symbols.clone(), 10, RecodePolicy::Oblivious);
+        let mut buf = RecodeBuffer::new();
+        let cut = ((n_symbols as f64) * known_frac) as usize;
+        for s in &symbols[..cut] {
+            buf.add_known(s);
+        }
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..200 {
+            for got in buf.receive(&recoder.generate(&mut rng)) {
+                prop_assert_eq!(&got.payload, truth.get(&got.id).expect("known id"));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_one_recoded_is_the_symbol(payload in proptest::collection::vec(any::<u8>(), 0..64), id in any::<u64>()) {
+        let mut buf = RecodeBuffer::new();
+        let got = buf.receive(&RecodedSymbol {
+            components: vec![id],
+            payload: Bytes::from(payload.clone()),
+        });
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(got[0].id, id);
+        prop_assert_eq!(got[0].payload.as_ref(), &payload[..]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic overlay transfer simulator (§6 of the paper).
+//!
+//! §6's evaluation is itself a simulation: what matters for every
+//! reported metric — overhead, speedup, relative rate — is *which symbol
+//! identifiers* cross each connection and when, under each transfer
+//! strategy. This crate reproduces exactly that: symbols are 64-bit ids
+//! (the paper's own §6.1 simplification of a constant 7 % decoding
+//! overhead replaces payload-level decoding), recoded packets carry
+//! component-id lists and resolve through the real substitution buffer
+//! from `icd-fountain`, and every run is a pure function of its seed.
+//!
+//! * [`receiver`] — receiver state: known-symbol set, pending recoded
+//!   symbols (substitution cascade), completion target.
+//! * [`strategy`] — the five §6.2 sender strategies: Random, Random/BF,
+//!   Recode, Recode/BF, Recode/MW.
+//! * [`scenario`] — §6.3's experiment geometries: compact/stretched
+//!   two-peer transfers (Figure 5), full + partial sender (Figure 6),
+//!   and k partial senders (Figures 7 and 8).
+//! * [`transfer`] — the tick loop and outcome metrics.
+//! * [`churn`] — connection migration and sender churn (the §2.3
+//!   statelessness claims, exercised end to end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod receiver;
+pub mod scenario;
+pub mod strategy;
+pub mod transfer;
+
+pub use receiver::Receiver;
+pub use scenario::{MultiSenderScenario, ScenarioParams, TwoPeerScenario};
+pub use strategy::{Packet, Sender, StrategyKind};
+pub use transfer::{run_transfer, TransferOutcome};
+
+/// Symbol identifier (shared with the codec crate's `SymbolId`).
+pub type SymbolId = u64;

@@ -1,0 +1,525 @@
+//! The five sender strategies of §6.2.
+//!
+//! * **Random** — "The transmitting node randomly picks an available
+//!   symbol to send. This simple strategy is used by Swarmcast." Uniform
+//!   with replacement: the sender is stateless per packet, the honest
+//!   reading of an uninformed gossip sender (and what produces the
+//!   coupon-collector behaviour the paper highlights).
+//! * **Random/BF** — "selects symbols at random and sends those which
+//!   are not elements of the Bloom filter provided by the receiver."
+//!   Rejection against the filter leaves a candidate list the sender
+//!   walks in random order without repetition (resending a symbol the
+//!   filter already cleared would be pure waste the sender can avoid for
+//!   free); the filter is never updated mid-transfer, as in §6.1.
+//! * **Recode** — recoded symbols over the sender's *entire* working set
+//!   with the capped degree distribution (degree limit 50, §6.1).
+//! * **Recode/BF** — recoded symbols generated only from symbols outside
+//!   the receiver's Bloom filter, with the recoding *domain* restricted
+//!   to roughly the number of symbols the receiver requested ("we
+//!   restrict the recoding domain to an appropriate small size", §6.1) —
+//!   recoding over the full candidate set would make the receiver pay
+//!   for a fountain over symbols it does not need.
+//! * **Recode/MW** — recoded symbols over the entire working set with
+//!   degrees scaled by 1/(1−c), c estimated from exchanged min-wise
+//!   sketches.
+
+use bytes::Bytes;
+use icd_bloom::BloomFilter;
+use icd_fountain::{EncodedSymbol, RecodePolicy, Recoder};
+use icd_sketch::{MinwiseSketch, PermutationFamily};
+use icd_util::rng::{Rng64, Xoshiro256StarStar};
+
+use crate::SymbolId;
+
+/// One packet on the data plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// A plain encoded symbol, identified by id.
+    Encoded(SymbolId),
+    /// A recoded symbol: XOR of the listed encoded symbols.
+    Recoded(Vec<SymbolId>),
+}
+
+impl Packet {
+    /// Wire size of the packet header + payload for a given block size —
+    /// used by byte-accounting ablations (`sim_step` bench).
+    #[must_use]
+    pub fn wire_size(&self, block_size: usize) -> usize {
+        match self {
+            Packet::Encoded(_) => 8 + block_size,
+            Packet::Recoded(c) => 2 + 8 * c.len() + block_size,
+        }
+    }
+}
+
+/// Which of the §6.2 strategies a sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Uninformed uniform selection (Swarmcast baseline).
+    Random,
+    /// Random selection filtered by the receiver's Bloom filter.
+    RandomBloom,
+    /// Oblivious recoding over the whole working set.
+    Recode,
+    /// Recoding restricted to symbols outside the receiver's filter.
+    RecodeBloom,
+    /// Recoding with min-wise-estimated degree scaling.
+    RecodeMinwise,
+}
+
+impl StrategyKind {
+    /// All five strategies in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Random,
+        StrategyKind::RandomBloom,
+        StrategyKind::Recode,
+        StrategyKind::RecodeBloom,
+        StrategyKind::RecodeMinwise,
+    ];
+
+    /// The label used in the paper's figure legends.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::Random => "Random",
+            StrategyKind::RandomBloom => "Random/BF",
+            StrategyKind::Recode => "Recode",
+            StrategyKind::RecodeBloom => "Recode/BF",
+            StrategyKind::RecodeMinwise => "Recode/MW",
+        }
+    }
+
+    /// Whether the strategy needs the receiver's Bloom filter.
+    #[must_use]
+    pub fn needs_filter(&self) -> bool {
+        matches!(self, StrategyKind::RandomBloom | StrategyKind::RecodeBloom)
+    }
+
+    /// Whether the strategy needs min-wise sketches.
+    #[must_use]
+    pub fn needs_sketch(&self) -> bool {
+        matches!(self, StrategyKind::RecodeMinwise)
+    }
+}
+
+/// What the receiver hands a sender at connection setup (the one-shot
+/// control exchange of §6.1; never updated during the transfer).
+#[derive(Debug, Clone, Default)]
+pub struct ReceiverHandshake {
+    /// Bloom filter over the receiver's working set (BF strategies).
+    pub filter: Option<BloomFilter>,
+    /// Min-wise sketch of the receiver's working set (MW strategy).
+    pub sketch: Option<MinwiseSketch>,
+}
+
+impl ReceiverHandshake {
+    /// Builds the handshake a receiver with `working_set` would send,
+    /// providing whatever `strategy` requires. `bits_per_element` sizes
+    /// the filter (the paper's §5.2 reference point is 8).
+    #[must_use]
+    pub fn for_strategy(
+        strategy: StrategyKind,
+        working_set: &[SymbolId],
+        bits_per_element: f64,
+        family: &PermutationFamily,
+    ) -> Self {
+        let filter = strategy.needs_filter().then(|| {
+            let mut f = BloomFilter::with_bits_per_element(
+                working_set.len().max(1),
+                bits_per_element,
+                0xF117E5,
+            );
+            for &id in working_set {
+                f.insert(id);
+            }
+            f
+        });
+        let sketch = strategy
+            .needs_sketch()
+            .then(|| MinwiseSketch::from_keys(family, working_set.iter().copied()));
+        Self { filter, sketch }
+    }
+}
+
+/// A sender bound to one receiver for the duration of a connection.
+#[derive(Debug)]
+pub struct Sender {
+    kind: StrategyKind,
+    working: Vec<SymbolId>,
+    /// Random-order candidate queue (BF strategies); `next_candidate`
+    /// indexes into it.
+    candidates: Vec<SymbolId>,
+    next_candidate: usize,
+    recoder: Option<Recoder>,
+    rng: Xoshiro256StarStar,
+    packets_sent: u64,
+}
+
+impl Sender {
+    /// Creates a sender running `kind` over `working` symbols, given the
+    /// receiver's handshake. `family` is the protocol-wide permutation
+    /// family (for the sender's own sketch under Recode/MW).
+    /// `request_hint` is the number of symbols the receiver asked this
+    /// sender for (§6.1); Recode/BF uses it to size its recoding domain.
+    ///
+    /// Panics if the working set is empty or if the handshake lacks what
+    /// the strategy requires — both are protocol violations, not runtime
+    /// conditions.
+    #[must_use]
+    pub fn new(
+        kind: StrategyKind,
+        working: Vec<SymbolId>,
+        handshake: &ReceiverHandshake,
+        family: &PermutationFamily,
+        seed: u64,
+        request_hint: usize,
+    ) -> Self {
+        assert!(!working.is_empty(), "sender needs a non-empty working set");
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut candidates = Vec::new();
+        let mut next_candidate = 0;
+        let mut recoder = None;
+        match kind {
+            StrategyKind::Random => {}
+            StrategyKind::RandomBloom => {
+                let filter = handshake.filter.as_ref().expect("Random/BF needs a filter");
+                candidates = working.iter().copied().filter(|&id| !filter.contains(id)).collect();
+                rng.shuffle(&mut candidates);
+                next_candidate = 0;
+            }
+            StrategyKind::Recode => {
+                recoder = Some(Recoder::new(
+                    to_symbols(&working),
+                    icd_fountain::recode::PAPER_DEGREE_LIMIT,
+                    RecodePolicy::Oblivious,
+                ));
+            }
+            StrategyKind::RecodeBloom => {
+                let filter = handshake.filter.as_ref().expect("Recode/BF needs a filter");
+                candidates = working.iter().copied().filter(|&id| !filter.contains(id)).collect();
+                if !candidates.is_empty() {
+                    // Restrict the recoding domain to what the receiver
+                    // asked for (plus recode-layer decoding headroom);
+                    // recoding over every candidate would force the
+                    // receiver to collect the whole candidate fountain.
+                    let domain_size = (request_hint + request_hint / 10 + 8)
+                        .min(candidates.len())
+                        .max(1);
+                    rng.shuffle(&mut candidates);
+                    let domain = candidates[..domain_size].to_vec();
+                    recoder = Some(Recoder::new(
+                        to_symbols(&domain),
+                        icd_fountain::recode::PAPER_DEGREE_LIMIT,
+                        RecodePolicy::Oblivious,
+                    ));
+                }
+            }
+            StrategyKind::RecodeMinwise => {
+                let receiver_sketch = handshake.sketch.as_ref().expect("Recode/MW needs a sketch");
+                let own = MinwiseSketch::from_keys(family, working.iter().copied());
+                // c = |A∩B| / |B| with B = this sender: containment of
+                // the sender's set in the receiver's (estimate() treats
+                // self as A = receiver side; call from receiver sketch).
+                let c = receiver_sketch.estimate(&own).containment_of_b();
+                recoder = Some(Recoder::new(
+                    to_symbols(&working),
+                    icd_fountain::recode::PAPER_DEGREE_LIMIT,
+                    RecodePolicy::MinwiseScaled { containment: c },
+                ));
+            }
+        }
+        Self {
+            kind,
+            working,
+            candidates,
+            next_candidate,
+            recoder,
+            rng,
+            packets_sent: 0,
+        }
+    }
+
+    /// The strategy this sender runs.
+    #[must_use]
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Size of the sender's working set.
+    #[must_use]
+    pub fn working_set_size(&self) -> usize {
+        self.working.len()
+    }
+
+    /// Number of symbols the receiver's filter cleared for sending
+    /// (BF strategies only; 0 otherwise).
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Emits the next packet, or `None` if this sender can provably
+    /// contribute nothing more (a BF sender that exhausted its candidate
+    /// list — everything else it holds, the receiver told it it has).
+    pub fn next_packet(&mut self) -> Option<Packet> {
+        let packet = match self.kind {
+            StrategyKind::Random => {
+                let id = self.working[self.rng.index(self.working.len())];
+                Some(Packet::Encoded(id))
+            }
+            StrategyKind::RandomBloom => {
+                if self.next_candidate >= self.candidates.len() {
+                    None
+                } else {
+                    let id = self.candidates[self.next_candidate];
+                    self.next_candidate += 1;
+                    Some(Packet::Encoded(id))
+                }
+            }
+            StrategyKind::Recode | StrategyKind::RecodeMinwise => {
+                let recoder = self.recoder.as_ref().expect("recoding sender has a recoder");
+                let rec = recoder.generate(&mut self.rng);
+                Some(Packet::Recoded(rec.components))
+            }
+            StrategyKind::RecodeBloom => self.recoder.as_ref().map(|recoder| {
+                let rec = recoder.generate(&mut self.rng);
+                Packet::Recoded(rec.components)
+            }),
+        };
+        if packet.is_some() {
+            self.packets_sent += 1;
+        }
+        packet
+    }
+}
+
+/// A *full* sender: holds the whole file and streams fresh encoded
+/// symbols from an unbounded universe (the digital fountain). Fresh ids
+/// are drawn from a private counter namespace that cannot collide with
+/// scenario symbols (which are hashes with the top bit clear).
+#[derive(Debug)]
+pub struct FullSender {
+    next: u64,
+    packets_sent: u64,
+}
+
+/// Tag bit marking full-sender (fresh fountain) symbol ids.
+pub const FRESH_ID_BIT: u64 = 1 << 63;
+
+impl FullSender {
+    /// Creates a full sender with its own id namespace (`stream` keeps
+    /// multiple full senders disjoint).
+    #[must_use]
+    pub fn new(stream: u32) -> Self {
+        Self {
+            next: FRESH_ID_BIT | (u64::from(stream) << 48),
+            packets_sent: 0,
+        }
+    }
+
+    /// Emits the next fresh symbol (always new to every receiver).
+    pub fn next_packet(&mut self) -> Packet {
+        let id = self.next;
+        self.next += 1;
+        self.packets_sent += 1;
+        Packet::Encoded(id)
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+}
+
+fn to_symbols(ids: &[SymbolId]) -> Vec<EncodedSymbol> {
+    ids.iter()
+        .map(|&id| EncodedSymbol {
+            id,
+            payload: Bytes::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ids(n: usize, seed: u64) -> Vec<SymbolId> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        // Clear the top bit so scenario ids never collide with fresh ids.
+        (0..n).map(|_| rng.next_u64() & !FRESH_ID_BIT).collect()
+    }
+
+    fn family() -> PermutationFamily {
+        PermutationFamily::standard(42)
+    }
+
+    #[test]
+    fn random_sender_draws_from_working_set() {
+        let working = ids(100, 1);
+        let set: HashSet<_> = working.iter().copied().collect();
+        let hs = ReceiverHandshake::default();
+        let mut s = Sender::new(StrategyKind::Random, working, &hs, &family(), 7, 100);
+        for _ in 0..500 {
+            match s.next_packet() {
+                Some(Packet::Encoded(id)) => assert!(set.contains(&id)),
+                other => panic!("unexpected packet {other:?}"),
+            }
+        }
+        assert_eq!(s.packets_sent(), 500);
+    }
+
+    #[test]
+    fn random_bloom_sends_only_unfiltered_and_exhausts() {
+        let receiver_set = ids(500, 2);
+        let sender_set: Vec<SymbolId> = receiver_set[..250]
+            .iter()
+            .copied()
+            .chain(ids(250, 3))
+            .collect();
+        let hs = ReceiverHandshake::for_strategy(
+            StrategyKind::RandomBloom,
+            &receiver_set,
+            8.0,
+            &family(),
+        );
+        let filter = hs.filter.clone().expect("filter built");
+        let mut s = Sender::new(StrategyKind::RandomBloom, sender_set, &hs, &family(), 8, 250);
+        let mut sent = HashSet::new();
+        while let Some(Packet::Encoded(id)) = s.next_packet() {
+            assert!(!filter.contains(id), "sent a filtered symbol");
+            assert!(sent.insert(id), "resent {id}");
+        }
+        // ≈ 250 useful (minus FP withholding) then exhaustion.
+        assert!(sent.len() > 200 && sent.len() <= 250, "sent {}", sent.len());
+        assert!(s.next_packet().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn recode_components_come_from_working_set() {
+        let working = ids(200, 4);
+        let set: HashSet<_> = working.iter().copied().collect();
+        let hs = ReceiverHandshake::default();
+        let mut s = Sender::new(StrategyKind::Recode, working, &hs, &family(), 9, 100);
+        for _ in 0..100 {
+            match s.next_packet() {
+                Some(Packet::Recoded(components)) => {
+                    assert!(!components.is_empty() && components.len() <= 50);
+                    assert!(components.iter().all(|id| set.contains(id)));
+                }
+                other => panic!("unexpected packet {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recode_bloom_components_all_useful() {
+        let receiver_set = ids(400, 5);
+        let sender_set: Vec<SymbolId> = receiver_set[..200]
+            .iter()
+            .copied()
+            .chain(ids(200, 6))
+            .collect();
+        let hs = ReceiverHandshake::for_strategy(
+            StrategyKind::RecodeBloom,
+            &receiver_set,
+            8.0,
+            &family(),
+        );
+        let receiver: HashSet<_> = receiver_set.iter().copied().collect();
+        let mut s = Sender::new(StrategyKind::RecodeBloom, sender_set, &hs, &family(), 10, 200);
+        for _ in 0..100 {
+            let Some(Packet::Recoded(components)) = s.next_packet() else {
+                panic!("expected recoded packet");
+            };
+            for id in components {
+                assert!(!receiver.contains(&id), "recoded over a known symbol");
+            }
+        }
+    }
+
+    #[test]
+    fn recode_minwise_scales_degree_with_correlation() {
+        let shared = ids(800, 7);
+        let sender_set: Vec<SymbolId> = shared.iter().copied().chain(ids(200, 8)).collect();
+        // Receiver holds 80 % of the sender's set.
+        let receiver_set = shared;
+        let fam = family();
+        let hs =
+            ReceiverHandshake::for_strategy(StrategyKind::RecodeMinwise, &receiver_set, 8.0, &fam);
+        let mut correlated =
+            Sender::new(StrategyKind::RecodeMinwise, sender_set.clone(), &hs, &fam, 11, 200);
+        // Uncorrelated receiver for comparison.
+        let hs0 = ReceiverHandshake::for_strategy(
+            StrategyKind::RecodeMinwise,
+            &ids(800, 99),
+            8.0,
+            &fam,
+        );
+        let mut uncorrelated = Sender::new(StrategyKind::RecodeMinwise, sender_set, &hs0, &fam, 12, 200);
+        let avg = |s: &mut Sender| {
+            let mut total = 0usize;
+            for _ in 0..200 {
+                if let Some(Packet::Recoded(c)) = s.next_packet() {
+                    total += c.len();
+                }
+            }
+            total as f64 / 200.0
+        };
+        let hi = avg(&mut correlated);
+        let lo = avg(&mut uncorrelated);
+        assert!(
+            hi > lo * 1.5,
+            "correlated degree {hi} should exceed uncorrelated {lo}"
+        );
+    }
+
+    #[test]
+    fn full_sender_never_repeats_and_never_collides() {
+        let mut fs = FullSender::new(0);
+        let mut fs2 = FullSender::new(1);
+        let scenario_ids: HashSet<_> = ids(1000, 13).into_iter().collect();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let Packet::Encoded(id) = fs.next_packet() else {
+                unreachable!()
+            };
+            assert!(seen.insert(id), "full sender repeated {id}");
+            assert!(!scenario_ids.contains(&id), "collided with scenario id");
+        }
+        let Packet::Encoded(id2) = fs2.next_packet() else {
+            unreachable!()
+        };
+        assert!(!seen.contains(&id2), "streams must be disjoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a filter")]
+    fn missing_filter_is_a_protocol_violation() {
+        let hs = ReceiverHandshake::default();
+        let _ = Sender::new(StrategyKind::RandomBloom, ids(10, 14), &hs, &family(), 15, 10);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = StrategyKind::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Random", "Random/BF", "Recode", "Recode/BF", "Recode/MW"]
+        );
+    }
+
+    #[test]
+    fn packet_wire_size() {
+        assert_eq!(Packet::Encoded(1).wire_size(1400), 1408);
+        assert_eq!(Packet::Recoded(vec![1, 2, 3]).wire_size(1400), 1426);
+    }
+}

@@ -1,0 +1,386 @@
+//! The transfer loop and its outcome metrics.
+//!
+//! Time is discrete: in each tick every attached sender (partial and
+//! full) emits one packet — the paper's "the full sender sends regular
+//! symbols at the same rate that the partial sender sends recoded
+//! symbols". The loop ends when the receiver reaches its target, when
+//! every sender is provably exhausted, or at a safety cap.
+//!
+//! Metric definitions (used by the Figure 5–8 harnesses):
+//!
+//! * **overhead** (Figure 5) — packets sent by partial senders divided
+//!   by the distinct symbols the receiver needed: 1.0 means every packet
+//!   taught the receiver something new, matching the figure's y-axis
+//!   starting at 1.
+//! * **speedup / relative rate** (Figures 6–8) — `needed / ticks`. A
+//!   lone full sender delivers exactly one new symbol per tick, so its
+//!   transfer takes `needed` ticks; any configuration's rate relative to
+//!   that baseline is `needed / ticks` without running the baseline.
+
+use icd_sketch::PermutationFamily;
+use icd_util::rng::{Rng64, SplitMix64};
+
+use crate::receiver::Receiver;
+use crate::scenario::{MultiSenderScenario, TwoPeerScenario};
+#[cfg(test)]
+use crate::scenario::ScenarioParams;
+use crate::strategy::{FullSender, ReceiverHandshake, Sender, StrategyKind};
+
+/// Bloom-filter sizing used by the BF strategies in all experiments
+/// (§5.2's 8-bits-per-element reference point).
+pub const FILTER_BITS_PER_ELEMENT: f64 = 8.0;
+
+/// Result of one simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Ticks elapsed (each sender sends once per tick).
+    pub ticks: u64,
+    /// Packets emitted by partial senders.
+    pub packets_from_partial: u64,
+    /// Packets emitted by full senders.
+    pub packets_from_full: u64,
+    /// Distinct symbols gained during the transfer.
+    pub gained: usize,
+    /// Distinct symbols the receiver needed at the start.
+    pub needed: usize,
+    /// Whether the target was reached.
+    pub completed: bool,
+}
+
+impl TransferOutcome {
+    /// Packets per needed symbol from the partial sender(s): Figure 5's
+    /// y-axis. Meaningful whether or not the transfer completed (an
+    /// incomplete transfer divides by what was needed, understating the
+    /// true cost — the `completed` flag must be consulted alongside).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.packets_from_partial as f64 / self.needed.max(1) as f64
+    }
+
+    /// Useful-rate relative to a lone full sender: Figures 6–8's y-axis.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.needed as f64 / self.ticks.max(1) as f64
+    }
+}
+
+/// Runs the tick loop until completion, exhaustion, or `max_ticks`.
+pub fn run_loop(
+    receiver: &mut Receiver,
+    partial: &mut [Sender],
+    full: &mut [FullSender],
+    max_ticks: u64,
+) -> TransferOutcome {
+    let needed = receiver.remaining();
+    let start = receiver.distinct_symbols();
+    let mut ticks = 0u64;
+    let mut packets_from_partial = 0u64;
+    let mut packets_from_full = 0u64;
+    while !receiver.is_complete() && ticks < max_ticks {
+        ticks += 1;
+        let mut any_packet = false;
+        for sender in full.iter_mut() {
+            let packet = sender.next_packet();
+            packets_from_full += 1;
+            any_packet = true;
+            receiver.receive(&packet);
+            if receiver.is_complete() {
+                break;
+            }
+        }
+        if receiver.is_complete() {
+            break;
+        }
+        for sender in partial.iter_mut() {
+            if let Some(packet) = sender.next_packet() {
+                packets_from_partial += 1;
+                any_packet = true;
+                receiver.receive(&packet);
+                if receiver.is_complete() {
+                    break;
+                }
+            }
+        }
+        if !any_packet {
+            break; // every sender exhausted — stalled
+        }
+    }
+    TransferOutcome {
+        ticks,
+        packets_from_partial,
+        packets_from_full,
+        gained: receiver.distinct_symbols() - start,
+        needed,
+        completed: receiver.is_complete(),
+    }
+}
+
+/// Default safety cap: far above any strategy's worst case (Random's
+/// coupon-collector tail is Θ(n log n) ≈ 10n at the paper's scale).
+#[must_use]
+pub fn default_max_ticks(target: usize) -> u64 {
+    (target as u64) * 50 + 10_000
+}
+
+/// Figure 5: one partial sender, one receiver, one strategy.
+#[must_use]
+pub fn run_transfer(
+    scenario: &TwoPeerScenario,
+    strategy: StrategyKind,
+    seed: u64,
+) -> TransferOutcome {
+    let mut seeds = SplitMix64::new(seed);
+    let family = PermutationFamily::standard(0x1CD);
+    let handshake = ReceiverHandshake::for_strategy(
+        strategy,
+        &scenario.receiver_set,
+        FILTER_BITS_PER_ELEMENT,
+        &family,
+    );
+    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+    let mut senders = vec![Sender::new(
+        strategy,
+        scenario.sender_set.clone(),
+        &handshake,
+        &family,
+        seeds.next_u64(),
+        scenario.needed(),
+    )];
+    run_loop(
+        &mut receiver,
+        &mut senders,
+        &mut [],
+        default_max_ticks(scenario.target),
+    )
+}
+
+/// Figure 6: a full sender alongside the partial sender.
+#[must_use]
+pub fn run_with_full_sender(
+    scenario: &TwoPeerScenario,
+    strategy: StrategyKind,
+    seed: u64,
+) -> TransferOutcome {
+    let mut seeds = SplitMix64::new(seed);
+    let family = PermutationFamily::standard(0x1CD);
+    let handshake = ReceiverHandshake::for_strategy(
+        strategy,
+        &scenario.receiver_set,
+        FILTER_BITS_PER_ELEMENT,
+        &family,
+    );
+    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+    // Two equal-rate senders: the receiver asks each for half its need.
+    let mut senders = vec![Sender::new(
+        strategy,
+        scenario.sender_set.clone(),
+        &handshake,
+        &family,
+        seeds.next_u64(),
+        scenario.needed().div_ceil(2),
+    )];
+    let mut full = vec![FullSender::new(0)];
+    run_loop(
+        &mut receiver,
+        &mut senders,
+        &mut full,
+        default_max_ticks(scenario.target),
+    )
+}
+
+/// Figures 7/8: k partial senders, no full sender.
+#[must_use]
+pub fn run_multi_partial(
+    scenario: &MultiSenderScenario,
+    strategy: StrategyKind,
+    seed: u64,
+) -> TransferOutcome {
+    let mut seeds = SplitMix64::new(seed);
+    let family = PermutationFamily::standard(0x1CD);
+    let handshake = ReceiverHandshake::for_strategy(
+        strategy,
+        &scenario.receiver_set,
+        FILTER_BITS_PER_ELEMENT,
+        &family,
+    );
+    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+    // The receiver splits its demand evenly across the k senders (§6.1).
+    let per_sender = scenario.needed().div_ceil(scenario.sender_sets.len());
+    let mut senders: Vec<Sender> = scenario
+        .sender_sets
+        .iter()
+        .map(|set| {
+            Sender::new(
+                strategy,
+                set.clone(),
+                &handshake,
+                &family,
+                seeds.next_u64(),
+                per_sender,
+            )
+        })
+        .collect();
+    run_loop(
+        &mut receiver,
+        &mut senders,
+        &mut [],
+        default_max_ticks(scenario.target),
+    )
+}
+
+/// Convenience used by harnesses and tests: the analytic coupon-collector
+/// prediction for the Random strategy's overhead in a two-peer scenario.
+///
+/// Random draws uniformly (with replacement) from the sender's `b`
+/// symbols of which `useful` are new; collecting `needed` of them takes
+/// `b·(H(useful) − H(useful − needed))` draws in expectation.
+#[must_use]
+pub fn random_strategy_analytic_overhead(b: usize, useful: usize, needed: usize) -> f64 {
+    assert!(needed <= useful, "cannot collect more than exists");
+    let h = |k: usize| -> f64 { (1..=k).map(|i| 1.0 / i as f64).sum() };
+    let draws = b as f64 * (h(useful) - h(useful - needed));
+    draws / needed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compact(n: usize) -> ScenarioParams {
+        ScenarioParams::compact(n, 0xFEED)
+    }
+
+    #[test]
+    fn all_strategies_complete_a_small_compact_transfer() {
+        let scenario = TwoPeerScenario::build(&compact(2000), 0.2);
+        for strategy in StrategyKind::ALL {
+            let out = run_transfer(&scenario, strategy, 1);
+            assert!(out.completed, "{} failed to complete", strategy.label());
+            // A final recoded packet can cascade past the target, so
+            // `gained` may overshoot `needed` slightly.
+            assert!(out.gained >= out.needed);
+            assert!(out.gained <= out.needed + 64, "overshoot {}", out.gained - out.needed);
+            assert!(out.overhead() >= 0.99, "{} overhead < 1", strategy.label());
+        }
+    }
+
+    #[test]
+    fn random_matches_coupon_collector_theory() {
+        // The paper: "this strategy is precisely characterized by the
+        // well known Coupon Collector's problem."
+        let scenario = TwoPeerScenario::build(&compact(4000), 0.0);
+        let b = scenario.sender_set.len();
+        let useful = b; // zero correlation: everything useful
+        let needed = scenario.needed();
+        let analytic = random_strategy_analytic_overhead(b, useful, needed);
+        let mut sum = 0.0;
+        let runs = 3;
+        for s in 0..runs {
+            let out = run_transfer(&scenario, StrategyKind::Random, s);
+            assert!(out.completed);
+            sum += out.overhead();
+        }
+        let mean = sum / runs as f64;
+        assert!(
+            (mean - analytic).abs() / analytic < 0.15,
+            "simulated {mean} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn bloom_strategies_beat_random_at_high_correlation() {
+        let params = compact(3000);
+        let scenario = TwoPeerScenario::build(&params, 0.4);
+        let random = run_transfer(&scenario, StrategyKind::Random, 7).overhead();
+        let bf = run_transfer(&scenario, StrategyKind::RandomBloom, 7);
+        let rbf = run_transfer(&scenario, StrategyKind::RecodeBloom, 7);
+        assert!(bf.completed && rbf.completed);
+        assert!(bf.overhead() < random / 2.0, "Random/BF {} vs Random {random}", bf.overhead());
+        assert!(rbf.overhead() < random / 2.0, "Recode/BF {} vs Random {random}", rbf.overhead());
+    }
+
+    #[test]
+    fn random_bloom_overhead_is_near_one() {
+        let scenario = TwoPeerScenario::build(&compact(3000), 0.3);
+        let out = run_transfer(&scenario, StrategyKind::RandomBloom, 3);
+        assert!(out.completed);
+        // Every sent packet is useful (no false negatives), so overhead
+        // ≈ 1 exactly; slack only from the final partial tick.
+        assert!(out.overhead() < 1.05, "overhead {}", out.overhead());
+    }
+
+    #[test]
+    fn full_sender_alone_takes_exactly_needed_ticks() {
+        let scenario = TwoPeerScenario::build(&compact(1000), 0.1);
+        let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
+        let mut full = vec![FullSender::new(0)];
+        let out = run_loop(&mut receiver, &mut [], &mut full, u64::MAX);
+        assert!(out.completed);
+        assert_eq!(out.ticks, out.needed as u64, "baseline normalization");
+        assert!((out.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_plus_informed_partial_approaches_speedup_two() {
+        let scenario = TwoPeerScenario::build(&compact(3000), 0.2);
+        let out = run_with_full_sender(&scenario, StrategyKind::RandomBloom, 5);
+        assert!(out.completed);
+        assert!(
+            out.speedup() > 1.7,
+            "speedup {} should approach 2",
+            out.speedup()
+        );
+        assert!(out.speedup() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn multi_sender_rate_scales_with_k() {
+        let params = compact(3000);
+        let two = MultiSenderScenario::build(&params, 2, 0.1);
+        let four = MultiSenderScenario::build(&params, 4, 0.1);
+        let r2 = run_multi_partial(&two, StrategyKind::RandomBloom, 9);
+        let r4 = run_multi_partial(&four, StrategyKind::RandomBloom, 9);
+        assert!(r2.completed && r4.completed);
+        assert!(r2.speedup() > 1.6, "k=2 rate {}", r2.speedup());
+        assert!(r4.speedup() > 2.8, "k=4 rate {}", r4.speedup());
+        assert!(r4.speedup() > r2.speedup());
+    }
+
+    #[test]
+    fn stalled_transfer_reports_incomplete() {
+        // A BF sender whose entire useful set is too small can exhaust.
+        let params = ScenarioParams {
+            num_blocks: 1000,
+            distinct_factor: 1.08, // system barely covers the target
+            decode_overhead: 0.07,
+            seed: 3,
+        };
+        let scenario = TwoPeerScenario::build(&params, 0.0);
+        // Make it unfinishable: strip 10 % of the sender's set.
+        let mut crippled = scenario.clone();
+        crippled.sender_set.truncate(scenario.sender_set.len() * 9 / 10);
+        let out = run_transfer(&crippled, StrategyKind::RandomBloom, 4);
+        assert!(!out.completed);
+        assert!(out.gained < out.needed);
+    }
+
+    #[test]
+    fn outcome_determinism() {
+        let scenario = TwoPeerScenario::build(&compact(1500), 0.25);
+        let a = run_transfer(&scenario, StrategyKind::Recode, 11);
+        let b = run_transfer(&scenario, StrategyKind::Recode, 11);
+        assert_eq!(a, b);
+        let c = run_transfer(&scenario, StrategyKind::Recode, 12);
+        assert_ne!(a.packets_from_partial, c.packets_from_partial);
+    }
+
+    #[test]
+    fn analytic_overhead_formula_sane() {
+        // Collect all coupons: b = useful = needed = n → H(n)·n/n = H(n).
+        let v = random_strategy_analytic_overhead(100, 100, 100);
+        let h100: f64 = (1..=100).map(|i| 1.0 / i as f64).sum();
+        assert!((v - h100).abs() < 1e-9);
+        // Collect half: much cheaper.
+        assert!(random_strategy_analytic_overhead(100, 100, 50) < 1.0_f64.max(v));
+    }
+}

@@ -1,0 +1,182 @@
+//! Straightforward random sampling (§4, first approach).
+//!
+//! Peer A selects `k` elements of its working set uniformly at random
+//! (with replacement) and sends them, optionally with |A|. Peer B probes
+//! each received key against its own working set; the hit fraction is an
+//! unbiased estimate of |A∩B| / |A|, i.e. the containment of A in B.
+//!
+//! The paper lists three drawbacks, all of which this implementation makes
+//! visible rather than hiding:
+//!
+//! * B must *search* for each key ([`RandomSample::evaluate_against`]
+//!   takes B's sorted key list and uses interpolation search, the data
+//!   structure §4 suggests);
+//! * the computation happens on B's side, delaying the reply;
+//! * samples from two different peers cannot be compared with each other
+//!   (there is deliberately no `resemblance(&self, &Self)` here — that
+//!   asymmetry is the paper's argument for min-wise sketches).
+
+use icd_util::rng::Rng64;
+use icd_util::search::interpolation_contains;
+
+use crate::estimate::OverlapEstimate;
+use crate::Key;
+
+/// Default sample size: 128 keys × 8 B = 1 KB packet, like the sketch.
+pub const DEFAULT_SAMPLE_SIZE: usize = 128;
+
+/// A uniform random sample (with replacement) of a working set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomSample {
+    keys: Vec<Key>,
+    set_size: u64,
+}
+
+impl RandomSample {
+    /// Draws a `sample_size`-element sample from `universe` (the sender's
+    /// working-set keys) using `rng`. Sampling is with replacement, per
+    /// the paper, so the estimator stays unbiased even for tiny sets.
+    ///
+    /// Panics if `universe` is empty: an empty working set has nothing to
+    /// advertise and the protocol layer must not request a sample.
+    #[must_use]
+    pub fn draw<R: Rng64>(universe: &[Key], sample_size: usize, rng: &mut R) -> Self {
+        assert!(!universe.is_empty(), "cannot sample an empty working set");
+        let keys = (0..sample_size)
+            .map(|_| universe[rng.index(universe.len())])
+            .collect();
+        Self {
+            keys,
+            set_size: universe.len() as u64,
+        }
+    }
+
+    /// Reconstructs a sample from wire data.
+    #[must_use]
+    pub fn from_parts(keys: Vec<Key>, set_size: u64) -> Self {
+        Self { keys, set_size }
+    }
+
+    /// The sampled keys (wire payload).
+    #[must_use]
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Advertised size of the sampled set.
+    #[must_use]
+    pub fn set_size(&self) -> u64 {
+        self.set_size
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.keys.len() * 8
+    }
+
+    /// Evaluates this sample (sent by peer A) against peer B's working
+    /// set, provided as a **sorted** key slice. Returns the full overlap
+    /// estimate; the raw hit fraction estimates |A∩B| / |A|.
+    ///
+    /// Cost: one interpolation search per sampled key — `O(k log log n)`
+    /// expected, the burden §4 attributes to this scheme.
+    #[must_use]
+    pub fn evaluate_against(&self, sorted_b: &[Key], size_b: u64) -> OverlapEstimate {
+        if self.keys.is_empty() {
+            return OverlapEstimate::from_resemblance(0.0, self.set_size, size_b);
+        }
+        let hits = self
+            .keys
+            .iter()
+            .filter(|k| interpolation_contains(sorted_b, **k))
+            .count();
+        let containment_of_a = hits as f64 / self.keys.len() as f64;
+        // evaluate_against estimates |A∩B|/|A|; flip the roles through the
+        // symmetric constructor (containment_of_b takes B's side).
+        let est = OverlapEstimate::from_containment_of_b(containment_of_a, size_b, self.set_size);
+        OverlapEstimate::from_resemblance(est.resemblance(), self.set_size, size_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_util::rng::Xoshiro256StarStar;
+
+    fn spread(range: std::ops::Range<u64>) -> Vec<Key> {
+        range.map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D)).collect()
+    }
+
+    #[test]
+    fn identical_sets_full_containment() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let keys = spread(0..1000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let sample = RandomSample::draw(&keys, 128, &mut rng);
+        let est = sample.evaluate_against(&sorted, sorted.len() as u64);
+        assert!((est.resemblance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_sets_zero_hits() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let a = spread(0..500);
+        let mut b = spread(10_000..10_500);
+        b.sort_unstable();
+        let sample = RandomSample::draw(&a, 128, &mut rng);
+        let est = sample.evaluate_against(&b, b.len() as u64);
+        assert_eq!(est.resemblance(), 0.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_overlap() {
+        // |A| = |B| = 1000, overlap 500 → containment of A in B = 0.5.
+        let mut rng = Xoshiro256StarStar::new(3);
+        let shared = spread(0..500);
+        let mut a = shared.clone();
+        a.extend(spread(1_000_000..1_000_500));
+        let mut b = shared;
+        b.extend(spread(2_000_000..2_000_500));
+        b.sort_unstable();
+        let sample = RandomSample::draw(&a, 512, &mut rng);
+        let est = sample.evaluate_against(&b, b.len() as u64);
+        // True r = 500 / 1500.
+        assert!((est.resemblance() - 1.0 / 3.0).abs() < 0.08, "r = {}", est.resemblance());
+        assert!((est.containment_of_a() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn sample_is_from_universe() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let keys = spread(0..50);
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        let sample = RandomSample::draw(&keys, 200, &mut rng);
+        assert_eq!(sample.keys().len(), 200);
+        assert!(sample.keys().iter().all(|k| set.contains(k)));
+        assert_eq!(sample.set_size(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty working set")]
+    fn empty_universe_panics() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let _ = RandomSample::draw(&[], 10, &mut rng);
+    }
+
+    #[test]
+    fn wire_size_matches_1kb_default() {
+        let mut rng = Xoshiro256StarStar::new(6);
+        let keys = spread(0..10);
+        let s = RandomSample::draw(&keys, DEFAULT_SAMPLE_SIZE, &mut rng);
+        assert_eq!(s.wire_size(), 1024);
+    }
+
+    #[test]
+    fn empty_sample_evaluates_to_zero() {
+        let s = RandomSample::from_parts(vec![], 100);
+        let est = s.evaluate_against(&[1, 2, 3], 3);
+        assert_eq!(est.resemblance(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Interpolation search over sorted `u64` keys.
+//!
+//! §4 of the paper notes that random-sample reconciliation requires the
+//! responding peer to look up each received key in its own working set and
+//! that "interpolation search will take O(log log |B_F|) average time per
+//! element" on (pseudo-)random keys. We implement it both to honour that
+//! cost model in the simulator and to benchmark the claim (the
+//! `recon_speed` bench compares it against binary search).
+
+/// Returns `true` if `key` occurs in the sorted slice `haystack`.
+///
+/// Keys must be sorted ascending; duplicates are fine. Falls back to a
+/// narrowing scan when the interpolation estimate stalls, so worst-case
+/// behaviour on adversarially clustered keys is still `O(log n)` via a
+/// bisection guard.
+#[must_use]
+pub fn interpolation_contains(haystack: &[u64], key: u64) -> bool {
+    interpolation_find(haystack, key).is_some()
+}
+
+/// Returns the index of `key` in sorted `haystack`, or `None`.
+///
+/// On uniformly distributed keys the expected probe count is
+/// `O(log log n)`; every iteration also halves the candidate range in the
+/// worst case (we bisect whenever the interpolated probe fails to shrink
+/// the range), keeping the adversarial bound logarithmic.
+#[must_use]
+pub fn interpolation_find(haystack: &[u64], key: u64) -> Option<usize> {
+    if haystack.is_empty() {
+        return None;
+    }
+    let mut lo = 0usize;
+    let mut hi = haystack.len() - 1;
+    while lo <= hi {
+        let lo_val = haystack[lo];
+        let hi_val = haystack[hi];
+        if key < lo_val || key > hi_val {
+            return None;
+        }
+        if lo_val == hi_val {
+            return if lo_val == key { Some(lo) } else { None };
+        }
+        // Interpolate the probable position of `key` in [lo, hi].
+        let span = (hi - lo) as u128;
+        let offset = (u128::from(key - lo_val) * span) / u128::from(hi_val - lo_val);
+        let mut probe = lo + offset as usize;
+        // Guard: if interpolation failed to move off the boundary while the
+        // range is still wide, bisect instead to guarantee progress.
+        if probe == lo && hi - lo > 1 {
+            probe = lo + (hi - lo) / 2;
+        }
+        match haystack[probe].cmp(&key) {
+            std::cmp::Ordering::Equal => return Some(probe),
+            std::cmp::Ordering::Less => lo = probe + 1,
+            std::cmp::Ordering::Greater => {
+                if probe == 0 {
+                    return None;
+                }
+                hi = probe - 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng64, Xoshiro256StarStar};
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(interpolation_find(&[], 5), None);
+        assert_eq!(interpolation_find(&[5], 5), Some(0));
+        assert_eq!(interpolation_find(&[5], 4), None);
+        assert_eq!(interpolation_find(&[5], 6), None);
+    }
+
+    #[test]
+    fn finds_all_members() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(interpolation_find(&keys, k), Some(i));
+        }
+    }
+
+    #[test]
+    fn rejects_all_gaps() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+        for i in 0..1000u64 {
+            let gap = i * 7 + 4; // never a member
+            assert_eq!(interpolation_find(&keys, gap), None);
+        }
+        assert!(!interpolation_contains(&keys, 0));
+        assert!(!interpolation_contains(&keys, u64::MAX));
+    }
+
+    #[test]
+    fn duplicates_are_found() {
+        let keys = [1u64, 2, 2, 2, 3, 9, 9];
+        let idx = interpolation_find(&keys, 2).expect("2 is present");
+        assert_eq!(keys[idx], 2);
+        let idx9 = interpolation_find(&keys, 9).expect("9 is present");
+        assert_eq!(keys[idx9], 9);
+    }
+
+    #[test]
+    fn clustered_keys_terminate() {
+        // Heavy clustering defeats interpolation estimates; the bisection
+        // guard must still terminate and answer correctly.
+        let mut keys = vec![0u64; 500];
+        keys.extend(std::iter::repeat(u64::MAX - 1).take(500));
+        keys.push(u64::MAX);
+        assert!(interpolation_contains(&keys, 0));
+        assert!(interpolation_contains(&keys, u64::MAX - 1));
+        assert!(interpolation_contains(&keys, u64::MAX));
+        assert!(!interpolation_contains(&keys, 12345));
+    }
+
+    #[test]
+    fn random_agreement_with_binary_search() {
+        let mut rng = Xoshiro256StarStar::new(2024);
+        let mut keys: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for _ in 0..10_000 {
+            let probe = rng.next_u64();
+            let expect = keys.binary_search(&probe).is_ok();
+            assert_eq!(interpolation_contains(&keys, probe), expect);
+        }
+        for &k in keys.iter().step_by(97) {
+            assert!(interpolation_contains(&keys, k));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is a u32 little-endian length followed by that many bytes of
+//! encoded [`crate::Message`]. The reader enforces a caller-chosen
+//! [`FrameLimit`] so a corrupt or hostile peer cannot make us allocate
+//! unbounded memory — the usual first mistake of hand-rolled protocols.
+//!
+//! These functions work over any `std::io::Read`/`Write`, so the same
+//! code drives the in-memory tests and the `tcp_reconcile` example's
+//! real sockets.
+
+use std::io::{Read, Write};
+
+use crate::message::{Message, WireError};
+
+/// Upper bound on accepted frame sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimit {
+    /// Maximum frame body length in bytes.
+    pub max_bytes: u32,
+}
+
+impl Default for FrameLimit {
+    /// 16 MiB: generously above any summary this workspace produces
+    /// (a 1-GB file's ART summary is ~10 KB) while still bounding a
+    /// hostile length field.
+    fn default() -> Self {
+        Self {
+            max_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Errors from the framing layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// Frame length exceeded the limit.
+    TooLarge {
+        /// Claimed body length.
+        claimed: u32,
+        /// The configured limit.
+        limit: u32,
+    },
+    /// Frame body failed to decode.
+    Wire(WireError),
+    /// The stream ended cleanly between frames.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::TooLarge { claimed, limit } => {
+                write!(f, "frame of {claimed} bytes exceeds limit {limit}")
+            }
+            Self::Wire(e) => write!(f, "frame decode failed: {e}"),
+            Self::Closed => write!(f, "stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes one message as a frame.
+pub fn write_frame<W: Write>(writer: &mut W, msg: &Message) -> Result<(), FrameError> {
+    let body = msg.encode();
+    let len = u32::try_from(body.len()).map_err(|_| FrameError::TooLarge {
+        claimed: u32::MAX,
+        limit: u32::MAX,
+    })?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&body)?;
+    Ok(())
+}
+
+/// Reads one frame and decodes it. Returns [`FrameError::Closed`] if the
+/// stream ends exactly on a frame boundary (normal shutdown).
+pub fn read_frame<R: Read>(reader: &mut R, limit: FrameLimit) -> Result<Message, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // Distinguish clean EOF (zero bytes) from mid-header truncation.
+    let mut filled = 0usize;
+    while filled < 4 {
+        match reader.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Err(FrameError::Closed),
+            0 => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > limit.max_bytes {
+        return Err(FrameError::TooLarge {
+            claimed: len,
+            limit: limit.max_bytes,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Message::decode(&body).map_err(FrameError::Wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let msgs = vec![
+            Message::SymbolRequest { count: 9 },
+            Message::EncodedSymbol {
+                id: 7,
+                payload: vec![1, 2, 3],
+            },
+            Message::RecodedSymbol {
+                components: vec![4, 5],
+                payload: vec![6; 10],
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).expect("write");
+        }
+        let mut cursor = Cursor::new(buf);
+        for m in &msgs {
+            let got = read_frame(&mut cursor, FrameLimit::default()).expect("read");
+            assert_eq!(&got, m);
+        }
+        // Clean EOF after the last frame.
+        assert!(matches!(
+            read_frame(&mut cursor, FrameLimit::default()),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cursor = Cursor::new(buf);
+        match read_frame(&mut cursor, FrameLimit { max_bytes: 1024 }) {
+            Err(FrameError::TooLarge { claimed, limit }) => {
+                assert_eq!(claimed, u32::MAX);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_io_error() {
+        let mut cursor = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor, FrameLimit::default()),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]); // 90 bytes short
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, FrameLimit::default()),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_body_is_wire_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0xEE); // bad tag
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, FrameLimit::default()),
+            Err(FrameError::Wire(WireError::BadTag(0xEE)))
+        ));
+    }
+}

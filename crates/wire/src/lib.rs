@@ -1,0 +1,33 @@
+//! Hand-rolled wire format for the control plane.
+//!
+//! The paper's protocol economics are stated in bytes — "sketches ... fit
+//! into a single 1KB packet" (§3), "filters for 10,000 packets using just
+//! 40,000 bits, which can fit into five 1 KB packets" (§5.2), "a gigabyte
+//! of content will typically require a summary on the order of 10KB"
+//! (§3). A self-describing serialization layer would bury those claims
+//! under framing overhead, so every message here is encoded by hand with
+//! a byte-exact, documented layout, and [`budget`] turns the paper's
+//! sentences into compile-and-run assertions.
+//!
+//! * [`message`] — the control messages: working-set sketches (min-wise,
+//!   random-sample, mod-k), fine-grained summaries (Bloom, ART), symbol
+//!   requests, and the data-plane symbol frames (encoded and recoded).
+//! * [`framing`] — length-prefixed frames over any `Read`/`Write` pair
+//!   (used by the `tcp_reconcile` example; blocking `std::net` is all the
+//!   workload needs — the transfers are CPU-bound, not connection-bound).
+//! * [`budget`] — the packet-budget ledger.
+//!
+//! Layout conventions: all integers little-endian; every message starts
+//! with a 1-byte tag; vectors are a u32 count followed by elements.
+//! Malformed input yields a [`WireError`], never a panic — these bytes
+//! cross a trust boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod framing;
+pub mod message;
+
+pub use framing::{read_frame, write_frame, FrameLimit};
+pub use message::{Message, WireError};

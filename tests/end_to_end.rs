@@ -1,0 +1,136 @@
+//! End-to-end integration: encode → estimate → reconcile → transfer →
+//! decode, across every crate in the workspace.
+
+use icd_core::{pump, PolicyKnobs, ReceiverSession, SenderSession, SessionConfig, WorkingSet};
+use icd_fountain::{DecodeStatus, Decoder, EncodedSymbol, Encoder};
+use icd_util::rng::{Rng64, SplitMix64};
+
+fn content(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+}
+
+/// Splits a symbol universe into two overlapping working sets.
+fn split_universe(
+    universe: &[EncodedSymbol],
+    receiver_share: f64,
+    sender_share: f64,
+) -> (WorkingSet, WorkingSet) {
+    let r_cut = (universe.len() as f64 * receiver_share) as usize;
+    let s_cut = universe.len() - (universe.len() as f64 * sender_share) as usize;
+    (
+        WorkingSet::from_symbols(universe[..r_cut].iter().cloned()),
+        WorkingSet::from_symbols(universe[s_cut..].iter().cloned()),
+    )
+}
+
+#[test]
+fn reconcile_then_decode_byte_exact() {
+    let data = content(100_000, 1);
+    let encoder = Encoder::for_content(&data, 500, 2);
+    let l = encoder.spec().num_blocks();
+    let universe: Vec<EncodedSymbol> = encoder.stream(3).take(l * 3 / 2).collect();
+    let (mut receiver_ws, sender_ws) = split_universe(&universe, 0.6, 0.6);
+
+    let config = SessionConfig {
+        request: (l + l / 5) as u64,
+        ..SessionConfig::default()
+    };
+    let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
+    let mut sender = SenderSession::new(sender_ws, 4);
+    pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");
+    assert!(session.is_done());
+    assert!(session.gained() > 0);
+
+    let mut decoder = Decoder::new(encoder.spec().clone());
+    let mut complete = false;
+    for sym in receiver_ws.symbols() {
+        if matches!(decoder.receive(&sym), DecodeStatus::Complete) {
+            complete = true;
+            break;
+        }
+    }
+    assert!(complete, "post-reconciliation working set must decode");
+    assert_eq!(decoder.into_content(data.len()).expect("complete"), data);
+}
+
+#[test]
+fn transferred_payloads_are_authentic() {
+    // Every symbol the receiver gains must be byte-identical to the
+    // encoder's ground truth for that id.
+    let data = content(30_000, 5);
+    let encoder = Encoder::for_content(&data, 300, 6);
+    let l = encoder.spec().num_blocks();
+    let universe: Vec<EncodedSymbol> = encoder.stream(7).take(l * 2).collect();
+    let (mut receiver_ws, sender_ws) = split_universe(&universe, 0.5, 0.7);
+    let before: std::collections::HashSet<u64> = receiver_ws.ids().collect();
+
+    let (mut session, opening) = ReceiverSession::start(
+        &receiver_ws,
+        SessionConfig {
+            request: l as u64,
+            ..SessionConfig::default()
+        },
+    );
+    let mut sender = SenderSession::new(sender_ws, 8);
+    pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");
+
+    let mut checked = 0;
+    for sym in receiver_ws.symbols() {
+        if !before.contains(&sym.id) {
+            assert_eq!(sym.payload, encoder.symbol(sym.id).payload, "id {}", sym.id);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "some symbols should have moved");
+}
+
+#[test]
+fn admission_control_spends_only_control_packets() {
+    let data = content(20_000, 9);
+    let encoder = Encoder::for_content(&data, 200, 10);
+    let universe: Vec<EncodedSymbol> = encoder.stream(11).take(150).collect();
+    let mut a = WorkingSet::from_symbols(universe.iter().cloned());
+    let b = WorkingSet::from_symbols(universe.iter().cloned());
+    let (mut session, opening) = ReceiverSession::start(&a, SessionConfig::default());
+    let mut sender = SenderSession::new(b, 12);
+    let (to_sender, to_receiver) = pump(&mut session, &mut a, &mut sender, opening).expect("pump");
+    assert!(session.was_rejected());
+    assert_eq!(session.gained(), 0);
+    assert!(to_sender + to_receiver <= 3, "rejection must be cheap");
+}
+
+#[test]
+fn speculative_path_decodes_too() {
+    // Weak-client path: recoded symbols only, still ends in a decode.
+    let data = content(40_000, 13);
+    let encoder = Encoder::for_content(&data, 400, 14);
+    let l = encoder.spec().num_blocks();
+    let universe: Vec<EncodedSymbol> = encoder.stream(15).take(l * 2).collect();
+    let (mut receiver_ws, sender_ws) = split_universe(&universe, 0.55, 0.9);
+    let config = SessionConfig {
+        request: (l * 3) as u64,
+        knobs: PolicyKnobs {
+            fine_grained_capable: false,
+            ..PolicyKnobs::default()
+        },
+        ..SessionConfig::default()
+    };
+    let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
+    let mut sender = SenderSession::new(sender_ws, 16);
+    pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");
+    assert!(matches!(
+        session.plan(),
+        Some(icd_core::TransferPlan::Speculative { .. })
+    ));
+    let mut decoder = Decoder::new(encoder.spec().clone());
+    let mut complete = false;
+    for sym in receiver_ws.symbols() {
+        if matches!(decoder.receive(&sym), DecodeStatus::Complete) {
+            complete = true;
+            break;
+        }
+    }
+    assert!(complete, "speculative transfer must still enable decode");
+    assert_eq!(decoder.into_content(data.len()).expect("done"), data);
+}

@@ -1,0 +1,78 @@
+//! Property-based tests on the wire format: total decoding (no panics on
+//! arbitrary bytes) and lossless round-trips for arbitrary messages.
+
+use icd_wire::{Message, WireError};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Must return Ok or Err, never panic or loop.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn symbol_request_roundtrip(count in any::<u64>()) {
+        let msg = Message::SymbolRequest { count };
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn encoded_symbol_roundtrip(id in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let msg = Message::EncodedSymbol { id, payload };
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn recoded_symbol_roundtrip(
+        components in proptest::collection::vec(any::<u64>(), 1..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let msg = Message::RecodedSymbol { components, payload };
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncation_always_detected(
+        components in proptest::collection::vec(any::<u64>(), 1..16),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = Message::RecodedSymbol { components, payload: vec![7; 32] };
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_always_detected(extra in 1usize..16) {
+        let mut bytes = Message::SymbolRequest { count: 7 }.encode();
+        bytes.extend(std::iter::repeat(0u8).take(extra));
+        prop_assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid(_)) | Err(WireError::Truncated)
+        ));
+    }
+}
+
+#[test]
+fn framing_roundtrip_over_in_memory_stream() {
+    use icd_wire::framing::{read_frame, write_frame, FrameLimit};
+    let msgs = vec![
+        Message::SymbolRequest { count: 1 },
+        Message::EncodedSymbol {
+            id: 2,
+            payload: vec![3; 100],
+        },
+        Message::End { sent: 1 },
+    ];
+    let mut buf = Vec::new();
+    for m in &msgs {
+        write_frame(&mut buf, m).expect("write");
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    for m in &msgs {
+        assert_eq!(&read_frame(&mut cursor, FrameLimit::default()).expect("read"), m);
+    }
+}

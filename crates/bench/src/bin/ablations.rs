@@ -8,7 +8,12 @@
 //!    costs/buys in transfer overhead.
 //! 3. **Degree policy** — Oblivious vs MinwiseScaled vs LowerBounded
 //!    (the §5.4.2 rule) at a high-correlation operating point.
+//!
+//! All three sweeps run on the parallel [`ExperimentGrid`] engine and
+//! average over the configured trial seeds; output is identical at any
+//! thread count.
 
+use icd_bench::engine::ExperimentGrid;
 use icd_bench::output::{emit, f3, Table};
 use icd_bench::ExpConfig;
 use icd_overlay::receiver::Receiver;
@@ -37,29 +42,42 @@ fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
         ),
         &["bits/elem", "filter_bytes", "overhead", "withheld", "completed"],
     );
-    for bpe in [1.0, 2.0, 4.0, 8.0, 12.0, 16.0] {
-        let handshake = ReceiverHandshake::for_strategy(
-            StrategyKind::RandomBloom,
-            &scenario.receiver_set,
-            bpe,
-            &family,
-        );
-        let filter_bytes = handshake.filter.as_ref().map_or(0, |f| f.wire_size());
+    // The handshake (and therefore the filter size and the set of
+    // useful symbols it wrongly withholds) depends only on the budget,
+    // not the trial seed — build it once per budget outside the grid.
+    let useful: Vec<u64> = scenario
+        .sender_set
+        .iter()
+        .filter(|id| !scenario.receiver_set.contains(id))
+        .copied()
+        .collect();
+    let points: Vec<(f64, ReceiverHandshake, usize, usize)> = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0]
+        .into_iter()
+        .map(|bpe| {
+            let handshake = ReceiverHandshake::for_strategy(
+                StrategyKind::RandomBloom,
+                &scenario.receiver_set,
+                bpe,
+                &family,
+            );
+            let filter_bytes = handshake.filter.as_ref().map_or(0, |f| f.wire_size());
+            let withheld = handshake.filter.as_ref().map_or(0, |f| {
+                useful.iter().filter(|&&id| f.contains(id)).count()
+            });
+            (bpe, handshake, filter_bytes, withheld)
+        })
+        .collect();
+    let sweep = ExperimentGrid::new(points, vec![()], cfg.seeds());
+    let results = sweep.run(|cell| {
+        let (_, handshake, _, _) = cell.scenario;
         let mut sender = Sender::new(
             StrategyKind::RandomBloom,
             scenario.sender_set.clone(),
-            &handshake,
+            handshake,
             &family,
-            cfg.base_seed ^ 1,
+            cell.cell_seed(),
             scenario.needed(),
         );
-        // Useful symbols the filter wrongly withheld from the sender.
-        let useful_total = scenario
-            .sender_set
-            .iter()
-            .filter(|id| !scenario.receiver_set.contains(id))
-            .count();
-        let withheld = useful_total.saturating_sub(sender.candidate_count());
         let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
         let mut packets = 0u64;
         let max = default_max_ticks(scenario.target);
@@ -72,12 +90,19 @@ fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
                 None => break,
             }
         }
+        (
+            packets as f64 / scenario.needed() as f64,
+            receiver.is_complete(),
+        )
+    });
+    let overheads = results.summaries(|t| t.0);
+    for (si, (bpe, _, filter_bytes, withheld)) in sweep.scenarios().iter().enumerate() {
         table.push_row(vec![
             format!("{bpe}"),
             format!("{filter_bytes}"),
-            f3(packets as f64 / scenario.needed() as f64),
+            f3(overheads[si][0].mean()),
             format!("{withheld}"),
-            format!("{}", receiver.is_complete()),
+            format!("{}", results.point(si, 0).iter().all(|t| t.1)),
         ]);
     }
     table
@@ -94,13 +119,17 @@ fn degree_cap_sweep(cfg: &ExpConfig) -> Table {
         ),
         &["cap", "overhead", "max_header_bytes", "completed"],
     );
-    for cap in [2usize, 5, 10, 25, 50, 100, 200] {
-        let (overhead, completed) = run_recode_with_cap(&scenario, cap, cfg.base_seed ^ 2);
+    let caps = vec![2usize, 5, 10, 25, 50, 100, 200];
+    let sweep = ExperimentGrid::new(caps.clone(), vec![()], cfg.seeds());
+    let results =
+        sweep.run(|cell| run_recode_with_cap(&scenario, *cell.scenario, cell.cell_seed()));
+    let overheads = results.summaries(|t| t.0);
+    for (si, cap) in caps.iter().enumerate() {
         table.push_row(vec![
             format!("{cap}"),
-            f3(overhead),
+            f3(overheads[si][0].mean()),
             format!("{}", 2 + 8 * cap),
-            format!("{completed}"),
+            format!("{}", results.point(si, 0).iter().all(|t| t.1)),
         ]);
     }
     table
@@ -159,14 +188,17 @@ fn degree_policy_compare(cfg: &ExpConfig) -> Table {
         ),
         &["policy", "overhead", "completed"],
     );
-    for (name, policy) in [
+    let policies = vec![
         ("oblivious", RecodePolicy::Oblivious),
         ("minwise-scaled", RecodePolicy::MinwiseScaled { containment: c }),
         ("lower-bounded", RecodePolicy::LowerBounded { containment: c }),
-    ] {
+    ];
+    let sweep = ExperimentGrid::new(policies.clone(), vec![()], cfg.seeds());
+    let results = sweep.run(|cell| {
+        let (_, policy) = *cell.scenario;
         let recoder = Recoder::new(symbols.clone(), 50, policy);
         let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-        let mut rng = Xoshiro256StarStar::new(cfg.base_seed ^ 3);
+        let mut rng = cell.rng();
         let mut packets = 0u64;
         let max = default_max_ticks(scenario.target);
         while !receiver.is_complete() && packets < max {
@@ -174,10 +206,17 @@ fn degree_policy_compare(cfg: &ExpConfig) -> Table {
             let rec = recoder.generate(&mut rng);
             receiver.receive(&Packet::Recoded(rec.components));
         }
+        (
+            packets as f64 / scenario.needed() as f64,
+            receiver.is_complete(),
+        )
+    });
+    let overheads = results.summaries(|t| t.0);
+    for (si, (name, _)) in policies.iter().enumerate() {
         table.push_row(vec![
-            name.to_string(),
-            f3(packets as f64 / scenario.needed() as f64),
-            format!("{}", receiver.is_complete()),
+            (*name).to_string(),
+            f3(overheads[si][0].mean()),
+            format!("{}", results.point(si, 0).iter().all(|t| t.1)),
         ]);
     }
     table

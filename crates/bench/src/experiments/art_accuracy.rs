@@ -1,11 +1,12 @@
 //! Figure 4(a), Table 4(b), and Table 4(c): approximate reconciliation
 //! tree accuracy and the Bloom-vs-ART comparison.
 
-use icd_art::accuracy::{measure_accuracy, optimal_split, sweep_split, AccuracyConfig};
+use icd_art::accuracy::{measure_accuracy, optimal_split, AccuracyConfig};
 use icd_bloom::BloomFilter;
 use icd_util::rng::{Rng64, Xoshiro256StarStar};
 
 use crate::config::ExpConfig;
+use crate::engine::ExperimentGrid;
 use crate::output::{f3, Table};
 
 /// The ART-accuracy workload: n-element sets with d differences, per the
@@ -38,24 +39,22 @@ pub fn fig4a(cfg: &ExpConfig) -> Table {
             "leaf_bits", "corr=0", "corr=1", "corr=2", "corr=3", "corr=4", "corr=5",
         ],
     );
-    // One row per leaf-bit setting, one column per correction level.
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    for correction in 0..=5u32 {
-        let series = sweep_split(
-            &AccuracyConfig {
-                correction,
-                ..base
-            },
-            &grid,
-        );
-        columns.push(series.into_iter().map(|(_, acc)| acc).collect());
-    }
-    for (i, leaf_bits) in grid.iter().enumerate() {
-        let mut row = vec![format!("{leaf_bits}")];
-        for col in &columns {
-            row.push(f3(col[i]));
-        }
-        table.push_row(row);
+    // One row per leaf-bit setting, one column per correction level;
+    // every (leaf_bits, correction) point is one engine cell.
+    let sweep = ExperimentGrid::new(grid.clone(), (0..=5u32).collect(), vec![base.seed]);
+    let results = sweep.run(|cell| {
+        measure_accuracy(&AccuracyConfig {
+            leaf_bits_per_element: *cell.scenario,
+            correction: *cell.strategy,
+            ..base
+        })
+        .mean()
+    });
+    let data = results.summaries(|&acc| acc);
+    for (leaf_bits, row) in grid.iter().zip(data.iter()) {
+        let mut cells = vec![format!("{leaf_bits}")];
+        cells.extend(row.iter().map(|s| f3(s.mean())));
+        table.push_row(cells);
     }
     table
 }
@@ -72,20 +71,25 @@ pub fn table4b(cfg: &ExpConfig) -> Table {
         ),
         &["correction", "2 bpe", "4 bpe", "6 bpe", "8 bpe"],
     );
-    for correction in 0..=5u32 {
-        let mut row = vec![format!("{correction}")];
-        for total_bits in [2.0, 4.0, 6.0, 8.0] {
-            let (_, acc) = optimal_split(&AccuracyConfig {
-                correction,
-                total_bits_per_element: total_bits,
-                // Halve trials inside the split search for speed; the
-                // chosen split is then re-measured at full trials.
-                trials: cfg.trials.max(1),
-                ..base
-            });
-            row.push(f3(acc));
-        }
-        table.push_row(row);
+    // Rows = correction levels, columns = bit budgets; each point runs
+    // its own optimal-split search in one engine cell.
+    let corrections: Vec<u32> = (0..=5).collect();
+    let budgets = vec![2.0, 4.0, 6.0, 8.0];
+    let sweep = ExperimentGrid::new(corrections.clone(), budgets, vec![base.seed]);
+    let results = sweep.run(|cell| {
+        let (_, acc) = optimal_split(&AccuracyConfig {
+            correction: *cell.scenario,
+            total_bits_per_element: *cell.strategy,
+            trials: cfg.trials.max(1),
+            ..base
+        });
+        acc
+    });
+    let data = results.summaries(|&acc| acc);
+    for (correction, row) in corrections.iter().zip(data.iter()) {
+        let mut cells = vec![format!("{correction}")];
+        cells.extend(row.iter().map(|s| f3(s.mean())));
+        table.push_row(cells);
     }
     table
 }

@@ -5,9 +5,10 @@
 use icd_bloom::{math, BloomFilter};
 use icd_fountain::overhead::measure_overhead;
 use icd_recon::cost::{measure_all, Scenario};
-use icd_util::rng::{Rng64, Xoshiro256StarStar};
+use icd_util::rng::Rng64;
 
 use crate::config::ExpConfig;
+use crate::engine::ExperimentGrid;
 use crate::output::{f3, Table};
 
 /// §5.2's calibration points plus a sweep: analytic vs measured false
@@ -21,21 +22,32 @@ pub fn bloom_fp_table(cfg: &ExpConfig) -> Table {
     );
     let paper_points = [(4.0, 3, Some(0.147)), (8.0, 5, Some(0.022))];
     let extra_points = [(2.0, 1, None), (6.0, 4, None), (10.0, 7, None), (12.0, 8, None)];
-    let mut rng = Xoshiro256StarStar::new(cfg.base_seed);
-    let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-    for (bpe, k, paper) in paper_points.into_iter().chain(extra_points) {
+    let points: Vec<(f64, u32, Option<f64>)> =
+        paper_points.into_iter().chain(extra_points).collect();
+    // One engine cell per calibration point; keys and probes come from
+    // the cell's private RNG, so the measurement no longer depends on
+    // the order points happen to run in.
+    let sweep = ExperimentGrid::new(points, vec![()], vec![cfg.base_seed]);
+    let results = sweep.run(|cell| {
+        let (bpe, k, _) = *cell.scenario;
+        let mut rng = cell.rng();
         let m = (bpe * n as f64) as usize;
         let mut filter = BloomFilter::new(m, k, cfg.base_seed);
-        for &key in &keys {
-            filter.insert(key);
+        for _ in 0..n {
+            filter.insert(rng.next_u64());
         }
         let trials = 100_000;
         let fps = (0..trials).filter(|_| filter.contains(rng.next_u64())).count();
+        fps as f64 / trials as f64
+    });
+    for (si, _, _, &measured) in results.iter() {
+        let (bpe, k, paper) = sweep.scenarios()[si];
+        let m = (bpe * n as f64) as usize;
         table.push_row(vec![
             format!("{bpe}"),
             format!("{k}"),
             f3(math::false_positive_rate(m, n as u64, k)),
-            f3(fps as f64 / trials as f64),
+            f3(measured),
             paper.map_or_else(|| "-".to_string(), f3),
         ]);
     }
@@ -54,11 +66,16 @@ pub fn coding_table(cfg: &ExpConfig) -> Table {
     if cfg.num_blocks > 4_000 {
         scales.push(cfg.num_blocks);
     }
-    for l in scales {
+    // One engine cell per scale; each cell runs its own trial loop.
+    let sweep = ExperimentGrid::new(scales, vec![()], vec![cfg.base_seed]);
+    let results = sweep.run(|cell| {
+        let l = *cell.scenario;
         let trials = if l >= 20_000 { cfg.trials.min(2) } else { cfg.trials };
-        let report = measure_overhead(l, trials, cfg.base_seed);
+        measure_overhead(l, trials, cfg.base_seed)
+    });
+    for (si, _, _, report) in results.iter() {
         table.push_row(vec![
-            format!("{l}"),
+            format!("{}", sweep.scenarios()[si]),
             f3(report.mean_degree),
             f3(report.overhead.mean()),
             f3(report.overhead.ci95()),
@@ -69,7 +86,8 @@ pub fn coding_table(cfg: &ExpConfig) -> Table {
 }
 
 /// §5.1's cost comparison across every reconciliation method in the
-/// workspace.
+/// workspace. Runs sequentially on purpose: the rows report wall-clock
+/// build/reconcile times, which concurrent cells would contend over.
 #[must_use]
 pub fn recon_cost_table(cfg: &ExpConfig) -> Table {
     let shared = cfg.num_blocks;

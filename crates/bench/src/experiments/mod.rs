@@ -1,72 +1,10 @@
 //! The experiment battery, one module per evaluation artifact group.
+//!
+//! Every sweep here runs on the [`crate::engine::ExperimentGrid`]
+//! engine: cells are enumerated as (scenario × strategy × seed), fanned
+//! out over the worker pool, and reassembled by index, so tables and
+//! CSVs are bit-identical at any thread count.
 
 pub mod art_accuracy;
 pub mod calibration;
 pub mod transfers;
-
-use parking_lot::Mutex;
-
-/// Runs `f` over `inputs` on up to `threads` worker threads (crossbeam
-/// scoped), preserving input order in the output. The experiment points
-/// are embarrassingly parallel and deterministic per input, so this
-/// changes wall-clock only.
-pub fn sweep_parallel<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = inputs.len();
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    let results = Mutex::new(results);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let inputs = &inputs;
-    let f = &f;
-    let results_ref = &results;
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                results_ref.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all inputs processed"))
-        .collect()
-}
-
-/// Worker count: physical parallelism minus one, at least one.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sweep_preserves_order() {
-        let inputs: Vec<u64> = (0..57).collect();
-        let out = sweep_parallel(inputs.clone(), 4, |&x| x * 2);
-        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn sweep_single_thread_and_empty() {
-        assert_eq!(sweep_parallel(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
-        let empty: Vec<u32> = sweep_parallel(Vec::<u32>::new(), 4, |&x| x);
-        assert!(empty.is_empty());
-    }
-}

@@ -10,7 +10,7 @@ use icd_overlay::transfer::{run_multi_partial, run_transfer, run_with_full_sende
 use icd_util::stats::Summary;
 
 use crate::config::ExpConfig;
-use crate::experiments::{default_threads, sweep_parallel};
+use crate::engine::ExperimentGrid;
 use crate::output::{f3, Table};
 
 /// Which §6.3 variant a sweep runs.
@@ -67,41 +67,29 @@ fn sweep_figure(
     metric: Metric,
     run: impl Fn(&ScenarioParams, f64, StrategyKind, u64) -> icd_overlay::TransferOutcome + Sync,
 ) -> Vec<Vec<Summary>> {
-    // Build the flat point list: (correlation, strategy, seed).
-    let mut points = Vec::new();
-    for &c in grid {
-        for strategy in StrategyKind::ALL {
-            for &seed in &cfg.seeds() {
-                points.push((c, strategy, seed));
-            }
-        }
-    }
-    let results = sweep_parallel(points.clone(), default_threads(), |&(c, strategy, seed)| {
-        let params = shape.params(cfg, seed);
-        let outcome = run(&params, c, strategy, seed ^ 0x5A5A);
+    let sweep = ExperimentGrid::new(grid.to_vec(), StrategyKind::ALL.to_vec(), cfg.seeds());
+    let results = sweep.run(|cell| {
+        let params = shape.params(cfg, cell.seed);
+        let outcome = run(&params, *cell.scenario, *cell.strategy, cell.seed ^ 0x5A5A);
         let value = match metric {
             Metric::Overhead => outcome.overhead(),
             Metric::Speedup => outcome.speedup(),
         };
         (outcome.completed, value)
     });
-    // Aggregate per (correlation, strategy).
-    let mut table = vec![vec![Summary::new(); StrategyKind::ALL.len()]; grid.len()];
-    for ((c, strategy, _), (completed, value)) in points.into_iter().zip(results) {
+    for (si, gi, _, &(completed, _)) in results.iter() {
         if !completed {
             // Incomplete transfers (possible for BF strategies at the
             // compact margin) would understate cost; record them as the
             // safety-cap value instead of silently dropping them.
             eprintln!(
-                "[warn] incomplete transfer at c={c:.2} strategy={}",
-                strategy.label()
+                "[warn] incomplete transfer at c={:.2} strategy={}",
+                grid[si],
+                StrategyKind::ALL[gi].label()
             );
         }
-        let row = grid.iter().position(|&g| (g - c).abs() < 1e-12).expect("grid member");
-        let col = StrategyKind::ALL.iter().position(|&s| s == strategy).expect("strategy");
-        table[row][col].push(value);
     }
-    table
+    results.summaries(|&(_, value)| value)
 }
 
 fn render(

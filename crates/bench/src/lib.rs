@@ -15,8 +15,10 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod output;
 
 pub use config::ExpConfig;
+pub use engine::{Cell, ExperimentGrid, GridResults};
 pub use output::Table;

@@ -168,7 +168,7 @@ mod tests {
     fn paper_reference_geometry() {
         // §6.1: 32 MB at 1400-byte blocks → 23,968 source blocks.
         let len: usize = 32 * 1024 * 1024;
-        let blocks = (len as usize).div_ceil(PAPER_BLOCK_SIZE);
+        let blocks = len.div_ceil(PAPER_BLOCK_SIZE);
         assert_eq!(blocks, 23_968);
     }
 

@@ -83,7 +83,7 @@ pub fn run_with_migration(
 
     // Pool member inventories: the full "other half" plus a random fifth
     // of the receiver's set (correlated senders, like real overlay peers).
-    let mut pool_rng = Xoshiro256StarStar::new(seed ^ 0xC4DA_97);
+    let mut pool_rng = Xoshiro256StarStar::new(seed ^ 0xC4_DA97);
     let pool_sets: Vec<Vec<SymbolId>> = (0..config.sender_pool)
         .map(|_| {
             let mut set = rest.clone();
@@ -129,7 +129,7 @@ pub fn run_with_migration(
     let mut consecutive_dry_connects = 0usize;
     while !receiver.is_complete() && ticks < max_ticks {
         ticks += 1;
-        if ticks % config.migration_interval == 0 {
+        if ticks.is_multiple_of(config.migration_interval) {
             active_idx = (active_idx + 1) % pool_sets.len();
             active = connect(active_idx, &receiver, &mut seeds);
             migrations += 1;

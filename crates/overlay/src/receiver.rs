@@ -94,14 +94,12 @@ impl Receiver {
                 if self.buffer.knows(*id) {
                     0
                 } else {
-                    let cascade = self
-                        .buffer
+                    self.buffer
                         .receive(&icd_fountain::RecodedSymbol {
                             components: vec![*id],
                             payload: Bytes::new(),
                         })
-                        .len();
-                    cascade
+                        .len()
                 }
             }
             Packet::Recoded(components) => self

@@ -251,21 +251,24 @@ fn solve_linear(matrix: &mut [Vec<u64>], rhs: &mut [u64]) -> Option<Vec<u64>> {
         matrix.swap(rank, pivot);
         rhs.swap(rank, pivot);
         let inv_p = icd_util::modp::inv(matrix[rank][col]);
-        for j in col..cols {
-            matrix[rank][j] = mul(matrix[rank][j], inv_p);
+        for v in &mut matrix[rank][col..] {
+            *v = mul(*v, inv_p);
         }
         rhs[rank] = mul(rhs[rank], inv_p);
-        for r in 0..rows {
-            if r != rank && matrix[r][col] != 0 {
-                let factor = matrix[r][col];
-                for j in col..cols {
-                    let delta = mul(factor, matrix[rank][j]);
-                    matrix[r][j] = sub(matrix[r][j], delta);
+        // Borrow-splitting: lift the pivot row out while eliminating it
+        // from every other row, then put it back.
+        let pivot_row = std::mem::take(&mut matrix[rank]);
+        for (r, row) in matrix.iter_mut().enumerate() {
+            if r != rank && !row.is_empty() && row[col] != 0 {
+                let factor = row[col];
+                for (t, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                    *t = sub(*t, mul(factor, p));
                 }
                 let delta = mul(factor, rhs[rank]);
                 rhs[r] = sub(rhs[r], delta);
             }
         }
+        matrix[rank] = pivot_row;
         pivot_row_of_col[col] = Some(rank);
         rank += 1;
         if rank == rows {
@@ -274,10 +277,8 @@ fn solve_linear(matrix: &mut [Vec<u64>], rhs: &mut [u64]) -> Option<Vec<u64>> {
     }
     // Rows below the rank are all-zero; a non-zero RHS there means the
     // system is inconsistent.
-    for r in rank..rows {
-        if rhs[r] != 0 {
-            return None;
-        }
+    if rhs[rank..].iter().any(|&v| v != 0) {
+        return None;
     }
     // Free variables = 0; pivot variables read straight off the reduced
     // rows (their free-column coefficients multiply zeros).

@@ -1,0 +1,76 @@
+//! `any::<T>()` for the primitive types the workspace tests draw.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only (like real proptest's default): a wide
+        // mixture of magnitudes around zero.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = i32::try_from(rng.below(129)).expect("below 129 fits i32") - 64;
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+/// The full-domain strategy for `T` (real proptest's `any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_draws_varied_values() {
+        let mut rng = TestRng::for_case("any", 0);
+        let draws: std::collections::HashSet<u64> =
+            (0..64).map(|_| any::<u64>().sample(&mut rng)).collect();
+        assert!(draws.len() > 60, "u64 draws should rarely collide");
+        let bools: std::collections::HashSet<bool> =
+            (0..64).map(|_| any::<bool>().sample(&mut rng)).collect();
+        assert_eq!(bools.len(), 2);
+        for _ in 0..64 {
+            assert!(any::<f64>().sample(&mut rng).is_finite());
+        }
+    }
+}

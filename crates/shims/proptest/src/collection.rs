@@ -1,0 +1,120 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a collection size specification.
+pub trait SizeRange {
+    /// Draws a size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+#[must_use]
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample_size(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`: draws elements until the target size is
+/// reached, tolerating collisions with a bounded retry budget (mirrors
+/// real proptest, which may deliver a smaller set than requested when
+/// the element domain is tight).
+#[must_use]
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.sample_size(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n.saturating_mul(16) + 64 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..128 {
+            let v = vec(any::<u8>(), 3..7).sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        assert_eq!(vec(any::<u64>(), 5usize).sample(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn hash_set_reaches_target_for_wide_domains() {
+        let mut rng = TestRng::for_case("hash_set", 0);
+        for _ in 0..64 {
+            let s = hash_set(any::<u64>(), 10..20).sample(&mut rng);
+            assert!((10..20).contains(&s.len()));
+        }
+    }
+}

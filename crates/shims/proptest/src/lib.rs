@@ -1,0 +1,112 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace ships a minimal, fully deterministic property-testing
+//! harness covering exactly the API surface its tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges and tuples,
+//! * [`arbitrary::any`] for the primitive types,
+//! * [`collection::vec`] and [`collection::hash_set`].
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! file: every case is a pure function of the test name and case index,
+//! so a failure message's `case` number reproduces exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What the `proptest!`-generated harness threads through a test body:
+/// `Ok(())` on success, `Err(Rejected)` when `prop_assume!` rejects the
+/// generated inputs (the case is skipped, not failed).
+pub type TestCaseResult = Result<(), test_runner::Rejected>;
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Generates `#[test]` functions that run a body over many sampled
+/// inputs. Supports the `pat in strategy` argument syntax and an
+/// optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rejected: u32 = 0;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $pat = ($strat).sample(&mut __rng);)+
+                    let __outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    if __outcome.is_err() {
+                        __rejected += 1;
+                    }
+                }
+                assert!(
+                    __rejected < __config.cases,
+                    "proptest {}: all {} cases rejected by prop_assume!",
+                    stringify!($name),
+                    __config.cases,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its generated inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+}

@@ -1,0 +1,242 @@
+//! The [`Strategy`] trait: a composable description of how to sample a
+//! value. Implemented for ranges, tuples, and the combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A value generator. Unlike real proptest there is no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying a bounded number of
+    /// times (panics if the predicate is pathologically selective).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Always yields a clone of the given value (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer/float types uniformly sampleable over a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; panics if the range is empty.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range for strategy");
+                let span = (hi as u64) - (lo as u64);
+                lo + (rng.below(span) as $t)
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range for strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range for strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                ((lo as i64).wrapping_add(rng.below(span) as i64)) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range for strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i64).wrapping_add(rng.below(span + 1) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty range for strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo <= hi, "empty range for strategy");
+        // Occasionally emit the exact endpoints so `..=` is honest.
+        match rng.below(64) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        f64::sample_half_open(f64::from(lo), f64::from(hi), rng) as f32
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        f64::sample_inclusive(f64::from(lo), f64::from(hi), rng) as f32
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_case("strategy", 0);
+        for _ in 0..256 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let i = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn inclusive_f64_hits_endpoints() {
+        let mut rng = TestRng::for_case("endpoints", 0);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..4096 {
+            let v = (0.0f64..=1.0).sample(&mut rng);
+            lo_seen |= v == 0.0;
+            hi_seen |= v == 1.0;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::for_case("compose", 0);
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..64 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+        let pair = (0u64..4, 0.0f64..1.0);
+        let (a, b) = pair.sample(&mut rng);
+        assert!(a < 4 && (0.0..1.0).contains(&b));
+    }
+}

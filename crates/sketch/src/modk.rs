@@ -43,7 +43,7 @@ impl ModKSample {
         for key in keys {
             set_size += 1;
             let h = mix64(key);
-            if h % k == 0 {
+            if h.is_multiple_of(k) {
                 hashed.push(h);
             }
         }
@@ -200,8 +200,8 @@ mod tests {
         a.extend(spread(1_000_000..1_002_000));
         let mut b = shared;
         b.extend(spread(2_000_000..2_002_000));
-        let sa = ModKSample::build(a.into_iter(), 8); // ≈ 500 samples
-        let sb = ModKSample::build(b.into_iter(), 8);
+        let sa = ModKSample::build(a, 8); // ≈ 500 samples
+        let sb = ModKSample::build(b, 8);
         let est = sa.estimate(&sb);
         assert!(
             (est.containment_of_b() - 0.5).abs() < 0.1,

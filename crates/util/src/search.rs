@@ -109,7 +109,7 @@ mod tests {
         // Heavy clustering defeats interpolation estimates; the bisection
         // guard must still terminate and answer correctly.
         let mut keys = vec![0u64; 500];
-        keys.extend(std::iter::repeat(u64::MAX - 1).take(500));
+        keys.extend(std::iter::repeat_n(u64::MAX - 1, 500));
         keys.push(u64::MAX);
         assert!(interpolation_contains(&keys, 0));
         assert!(interpolation_contains(&keys, u64::MAX - 1));

@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn summary_of_constant() {
-        let s: Summary = std::iter::repeat(5.0).take(10).collect();
+        let s: Summary = std::iter::repeat_n(5.0, 10).collect();
         assert_eq!(s.count(), 10);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!(s.variance() < 1e-12);

@@ -91,7 +91,7 @@ mod tests {
         // ~10 KB.
         let size = art_message_size(&keys(10_000));
         assert!(
-            size >= 8 * 1024 && size <= 16 * 1024,
+            (8 * 1024..=16 * 1024).contains(&size),
             "ART summary {size} B should be order-10KB"
         );
     }

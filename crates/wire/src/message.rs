@@ -394,7 +394,7 @@ mod tests {
 
     #[test]
     fn modk_roundtrip() {
-        let sample = ModKSample::build(keys(5000, 4).into_iter(), 64);
+        let sample = ModKSample::build(keys(5000, 4), 64);
         roundtrip(&Message::ModK(sample));
     }
 

@@ -22,7 +22,7 @@ fn main() {
     // 25 % of the content's symbol requirement, pairwise disjoint where
     // possible (C and D explicitly disjoint).
     let n = 8_000usize; // source blocks
-    let params = ScenarioParams::compact(n, 0xF16_1);
+    let params = ScenarioParams::compact(n, 0xF161);
     let target = params.target();
     let quarter = target / 4;
     let ids = |lo: usize, hi: usize| -> Vec<u64> {
@@ -68,7 +68,7 @@ fn main() {
     let mut ticks = 0u64;
     while !receiver.is_complete() && ticks < tree_ticks * 2 {
         ticks += 1;
-        if ticks % tree_rate_limit == 0 {
+        if ticks.is_multiple_of(tree_rate_limit) {
             let p = parent.next_packet();
             receiver.receive(&p);
         }
@@ -82,7 +82,7 @@ fn main() {
                 }
             }
         }
-        if all_dry && ticks % tree_rate_limit != 0 && receiver.pending_recoded() == 0 {
+        if all_dry && !ticks.is_multiple_of(tree_rate_limit) && receiver.pending_recoded() == 0 {
             // Peers exhausted their useful symbols; only the parent
             // trickle remains.
         }

@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn trailing_garbage_always_detected(extra in 1usize..16) {
         let mut bytes = Message::SymbolRequest { count: 7 }.encode();
-        bytes.extend(std::iter::repeat(0u8).take(extra));
+        bytes.extend(std::iter::repeat_n(0u8, extra));
         prop_assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::Invalid(_)) | Err(WireError::Truncated)

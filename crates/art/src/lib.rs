@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod digest;
 pub mod search;
 pub mod summary;
 pub mod tree;
 
+pub use digest::ArtDigest;
 pub use search::{search_differences, SearchOutcome};
 pub use summary::{ArtSummary, SummaryParams};
 pub use tree::{ArtParams, ReconciliationTree};

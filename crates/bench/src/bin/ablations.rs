@@ -19,8 +19,10 @@ use icd_bench::ExpConfig;
 use icd_overlay::receiver::Receiver;
 use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
 use icd_overlay::strategy::{Packet, ReceiverHandshake, Sender, StrategyKind};
-use icd_overlay::transfer::default_max_ticks;
+use icd_overlay::transfer::{default_max_ticks, handshake_estimate};
+use icd_recon::shared_registry;
 use icd_sketch::PermutationFamily;
+use icd_summary::{SummaryId, SummarySizing};
 use icd_util::rng::Xoshiro256StarStar;
 
 fn main() {
@@ -51,18 +53,31 @@ fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
         .filter(|id| !scenario.receiver_set.contains(id))
         .copied()
         .collect();
+    let strategy = StrategyKind::RandomSummary(SummaryId::BLOOM);
+    let estimate = handshake_estimate(
+        scenario.receiver_set.len(),
+        scenario.sender_set.len(),
+        scenario.needed(),
+    );
     let points: Vec<(f64, ReceiverHandshake, usize, usize)> = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0]
         .into_iter()
         .map(|bpe| {
+            let sizing = SummarySizing {
+                bloom_bits_per_element: bpe,
+                ..SummarySizing::default()
+            };
             let handshake = ReceiverHandshake::for_strategy(
-                StrategyKind::RandomBloom,
+                strategy,
                 &scenario.receiver_set,
-                bpe,
+                &sizing,
                 &family,
+                shared_registry(),
+                &estimate,
             );
-            let filter_bytes = handshake.filter.as_ref().map_or(0, |f| f.wire_size());
-            let withheld = handshake.filter.as_ref().map_or(0, |f| {
-                useful.iter().filter(|&&id| f.contains(id)).count()
+            let filter_bytes = handshake.summary_bytes();
+            let withheld = handshake.summary.as_ref().map_or(0, |(_, body)| {
+                let digest = icd_bloom::BloomDigest::decode(body).expect("bloom body");
+                useful.iter().filter(|&&id| digest.filter().contains(id)).count()
             });
             (bpe, handshake, filter_bytes, withheld)
         })
@@ -71,10 +86,11 @@ fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
     let results = sweep.run(|cell| {
         let (_, handshake, _, _) = cell.scenario;
         let mut sender = Sender::new(
-            StrategyKind::RandomBloom,
+            strategy,
             scenario.sender_set.clone(),
             handshake,
             &family,
+            shared_registry(),
             cell.cell_seed(),
             scenario.needed(),
         );

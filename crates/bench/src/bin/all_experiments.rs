@@ -1,6 +1,6 @@
 //! Runs the full battery: every table and figure, in paper order.
 use icd_bench::experiments::transfers::{self, SystemShape};
-use icd_bench::experiments::{art_accuracy, calibration};
+use icd_bench::experiments::{art_accuracy, calibration, summaries};
 use icd_bench::{output, ExpConfig};
 
 fn main() {
@@ -12,6 +12,8 @@ fn main() {
     output::emit(&calibration::bloom_fp_table(&cfg), "bloom_fp_table");
     output::emit(&calibration::coding_table(&cfg), "coding_table");
     output::emit(&calibration::recon_cost_table(&cfg), "recon_cost_table");
+    output::emit(&summaries::session_matrix(&cfg), "summary_session_matrix");
+    output::emit(&summaries::overlay_matrix(&cfg), "summary_overlay_matrix");
     output::emit(&art_accuracy::fig4a(&cfg), "fig4a");
     output::emit(&art_accuracy::table4b(&cfg), "table4b");
     output::emit(&art_accuracy::table4c(&cfg), "table4c");

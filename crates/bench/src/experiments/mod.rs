@@ -7,4 +7,5 @@
 
 pub mod art_accuracy;
 pub mod calibration;
+pub mod summaries;
 pub mod transfers;

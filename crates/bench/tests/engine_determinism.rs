@@ -5,9 +5,11 @@
 //! ports rely on.
 
 use icd_bench::engine::{summary_table, ExperimentGrid};
+use icd_bench::experiments::summaries::{session_cell, SessionGeometry};
 use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
 use icd_overlay::strategy::StrategyKind;
 use icd_overlay::transfer::run_transfer;
+use icd_recon::standard_registry;
 
 fn mini_fig5_table(threads: usize) -> String {
     let blocks = 600;
@@ -37,6 +39,48 @@ fn grid_output_is_identical_across_thread_counts() {
         assert_eq!(
             serial, parallel,
             "grid output must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+/// A miniature multi-summary sweep: one live session pump per
+/// (geometry × SummaryId × seed) cell, mechanisms as the strategy axis.
+fn mini_summary_table(threads: usize) -> String {
+    let geometries = vec![SessionGeometry {
+        label: "mini",
+        shared: 300,
+        receiver_extra: 10,
+        sender_extra: 40,
+    }];
+    let mechanisms = standard_registry().ids();
+    let grid = ExperimentGrid::new(geometries, mechanisms.clone(), vec![0xD5, 0xD6]);
+    let results = grid.run_with_threads(threads, |cell| {
+        session_cell(cell.scenario, *cell.strategy, cell.seed)
+    });
+    let labels: Vec<String> = mechanisms.iter().map(|m| m.label().to_string()).collect();
+    let mut header: Vec<&str> = vec!["geometry"];
+    header.extend(labels.iter().map(String::as_str));
+    summary_table(
+        "mini summary matrix".to_string(),
+        &header,
+        &["mini".to_string()],
+        &results,
+        |o| o.recovered,
+    )
+    .render()
+}
+
+#[test]
+fn multi_summary_sweep_is_identical_across_thread_counts() {
+    // The new mechanism axis must honor the same determinism contract:
+    // byte-identical output whether the five mechanisms' session pumps
+    // ran serially or in parallel.
+    let serial = mini_summary_table(1);
+    for threads in [2, 8] {
+        let parallel = mini_summary_table(threads);
+        assert_eq!(
+            serial, parallel,
+            "summary sweep must be bit-identical at {threads} threads"
         );
     }
 }

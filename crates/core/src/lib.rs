@@ -8,16 +8,22 @@
 //!    ("an end-system's calling card") to estimate working-set overlap
 //!    before committing bandwidth. [`WorkingSet`] maintains the sketch
 //!    incrementally as symbols arrive.
-//! 2. **Fine-grained reconciliation** — a receiver ships a Bloom filter
-//!    or ART summary so the sender can filter or personalize its
-//!    transmissions. [`policy`] chooses the machinery from the estimate,
-//!    following §3's tradeoff discussion.
+//! 2. **Fine-grained reconciliation** — a receiver ships a digest of its
+//!    working set so the sender can filter or personalize its
+//!    transmissions. Digests are pluggable: every mechanism implements
+//!    the [`summary`] module's `SetSummary`/`Reconciler` traits and
+//!    registers in a `SummaryRegistry` under a stable `SummaryId` —
+//!    whole-set, hash-set, and char-poly (exact, §5.1) alongside Bloom
+//!    (§5.2) and ART (§5.3) all run through the same machinery.
+//!    [`policy`] scores the registered candidates by their advertised
+//!    wire/compute/accuracy numbers, following §3's tradeoff discussion.
 //! 3. **Informed transfer** — the sender streams encoded symbols the
 //!    receiver provably lacks, or recoded symbols tuned to the estimated
 //!    correlation. [`session`] packages the whole exchange as a pair of
-//!    transport-agnostic state machines speaking `icd-wire` messages
-//!    (the `tcp_reconcile` example runs them over real sockets; tests
-//!    run them over in-memory pipes).
+//!    transport-agnostic state machines speaking `icd-wire` messages;
+//!    summaries travel in the generic tagged frame, so the machines
+//!    dispatch purely on `SummaryId` (the `tcp_reconcile` example runs
+//!    them over real sockets; tests run them over in-memory pipes).
 //!
 //! The simulation-facing strategy code lives in `icd-overlay`; this
 //! crate is the payload-carrying, protocol-speaking layer.
@@ -27,8 +33,12 @@
 
 pub mod policy;
 pub mod session;
+pub mod summary;
 pub mod working_set;
 
-pub use policy::{PolicyKnobs, SummaryChoice, TransferPlan};
-pub use session::{pump, ReceiverSession, SenderSession, SessionConfig, SessionError};
+pub use policy::{plan_transfer, select_summary, PolicyKnobs, TransferPlan};
+#[allow(deprecated)]
+pub use policy::SummaryChoice;
+pub use session::{pump, pump_observed, ReceiverSession, SenderSession, SessionConfig, SessionError};
+pub use summary::{SummaryId, SummaryRegistry, SummarySizing};
 pub use working_set::WorkingSet;

@@ -9,11 +9,16 @@
 //!
 //! * **Admission control** (§4): a candidate sender whose content is
 //!   (estimated) identical is rejected outright.
-//! * **Summary choice** (§5.3): Bloom filters when the expected
-//!   difference is large (search cost O(n) amortizes well); ARTs when
-//!   the difference is small relative to the sets ("especially useful
-//!   when the set difference is small but still potentially worthwhile",
-//!   with search cost O(d log n)).
+//! * **Summary choice** (§5): every mechanism registered in the
+//!   [`SummaryRegistry`] is a candidate. Instead of hardcoded
+//!   per-mechanism thresholds, [`plan_transfer`] scores each candidate
+//!   by its *advertised* costs — estimated wire bytes plus
+//!   compute-weighted op count — and drops candidates below the
+//!   deployment's recall floor. The paper's Bloom-for-large-differences /
+//!   ART-for-small-differences rule emerges from the advertised numbers
+//!   (Bloom's O(n) scan vs the ART's O(d log n) search at half the bit
+//!   budget), and the same scoring admits the exact mechanisms when the
+//!   knobs demand precision (§5.1's whole-set / hash-set / char-poly).
 //! * **Recoding policy** (§5.4.2): with a summary in hand the sender can
 //!   pick guaranteed-useful symbols and recoding is unnecessary; without
 //!   one, recode with min-wise degree scaling.
@@ -21,32 +26,48 @@
 use icd_fountain::RecodePolicy;
 use icd_sketch::OverlapEstimate;
 
+use crate::summary::{diff_estimate, SummaryId, SummaryRegistry, SummarySizing};
+
 /// Resource/precision knobs a deployment sets per §3.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyKnobs {
     /// Resemblance above which a candidate sender is considered
     /// identical and rejected (§4's admission control).
     pub identical_threshold: f64,
-    /// If the expected difference is below this fraction of the peer's
-    /// set, prefer an ART (sublinear search); otherwise a Bloom filter.
-    pub art_difference_fraction: f64,
     /// Whether this end-system can afford fine-grained summaries at all
     /// ("not all clients will have the processing capability to perform
     /// fine-grained reconciliation", §5.4).
     pub fine_grained_capable: bool,
+    /// Candidates whose advertised recall falls below this floor are not
+    /// considered ("the requirements of precision", §3). Raising it
+    /// toward 1.0 shifts selection to the exact mechanisms.
+    pub min_recall: f64,
+    /// Wire-byte equivalents charged per advertised compute op-unit —
+    /// the resources-available axis. Zero scores by wire size alone;
+    /// larger values penalize compute-heavy mechanisms (the
+    /// characteristic polynomial's Θ(d³), Bloom's O(n) scan).
+    pub compute_weight: f64,
 }
 
 impl Default for PolicyKnobs {
     fn default() -> Self {
         Self {
             identical_threshold: 0.99,
-            art_difference_fraction: 0.05,
             fine_grained_capable: true,
+            min_recall: 0.6,
+            compute_weight: 0.15,
         }
     }
 }
 
-/// Which fine-grained summary (if any) the receiver should send.
+/// Which fine-grained summary the receiver should send, as a closed
+/// enum. Superseded by [`SummaryId`] + the registry: the enum can only
+/// name the mechanisms it was written for, which is exactly why three of
+/// the five shipped mechanisms could never run end-to-end through it.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SummaryId` and a `SummaryRegistry`; convert with `SummaryId::from`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SummaryChoice {
     /// No summary: the sender works from the sketch alone (recoding).
@@ -57,6 +78,17 @@ pub enum SummaryChoice {
     Art,
 }
 
+#[allow(deprecated)]
+impl From<SummaryChoice> for SummaryId {
+    fn from(choice: SummaryChoice) -> Self {
+        match choice {
+            SummaryChoice::None => SummaryId::NONE,
+            SummaryChoice::Bloom => SummaryId::BLOOM,
+            SummaryChoice::Art => SummaryId::ART,
+        }
+    }
+}
+
 /// The agreed plan for one sender→receiver connection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TransferPlan {
@@ -65,8 +97,9 @@ pub enum TransferPlan {
     /// Connect; receiver ships the chosen summary; sender filters its
     /// transmissions through it (reconciled transfer, §3).
     Reconciled {
-        /// Summary the receiver should provide.
-        summary: SummaryChoice,
+        /// Registry id of the summary the receiver should provide
+        /// ([`SummaryId::NONE`] for a sketch-only reconciled transfer).
+        summary: SummaryId,
     },
     /// Connect; sender recodes over its whole working set with the given
     /// degree policy (speculative transfer, §3).
@@ -78,9 +111,15 @@ pub enum TransferPlan {
 
 /// Chooses a plan from the exchanged sketch estimate. `estimate` is
 /// taken from the receiver's perspective: A = receiver, B = candidate
-/// sender.
+/// sender. Candidate summaries come from `registry`, scored under
+/// `sizing` — no mechanism is named here.
 #[must_use]
-pub fn plan_transfer(estimate: &OverlapEstimate, knobs: &PolicyKnobs) -> TransferPlan {
+pub fn plan_transfer(
+    estimate: &OverlapEstimate,
+    knobs: &PolicyKnobs,
+    sizing: &SummarySizing,
+    registry: &SummaryRegistry,
+) -> TransferPlan {
     // §4: "receivers ... immediately reject candidate senders whose
     // content is identical to their own."
     if estimate.is_identical(1.0 - knobs.identical_threshold) {
@@ -92,66 +131,163 @@ pub fn plan_transfer(estimate: &OverlapEstimate, knobs: &PolicyKnobs) -> Transfe
     if estimate.size_b() == 0 || useful <= 1e-9 {
         return TransferPlan::Reject;
     }
+    let speculative = TransferPlan::Speculative {
+        recode: RecodePolicy::MinwiseScaled {
+            containment: estimate.containment_of_b(),
+        },
+    };
     if !knobs.fine_grained_capable {
         // §5.4: clients without fine-grained capability lean on recoding
         // tuned by the sketch.
-        return TransferPlan::Speculative {
-            recode: RecodePolicy::MinwiseScaled {
-                containment: estimate.containment_of_b(),
-            },
-        };
+        return speculative;
     }
-    // Expected |B ∖ A| as a fraction of |B| decides Bloom vs ART.
-    let summary = if useful < knobs.art_difference_fraction {
-        SummaryChoice::Art
-    } else {
-        SummaryChoice::Bloom
-    };
-    TransferPlan::Reconciled { summary }
+    match select_summary(estimate, knobs, sizing, registry) {
+        // No registered mechanism meets the recall floor (or the
+        // registry is empty): fall back to the sketch-driven transfer.
+        None => speculative,
+        Some(summary) => TransferPlan::Reconciled { summary },
+    }
+}
+
+/// Scores every registered mechanism and returns the cheapest one that
+/// clears the recall floor (`None` when nothing qualifies). Score =
+/// advertised wire bytes + `compute_weight` × advertised op units; ties
+/// break toward the lower [`SummaryId`], so selection is deterministic.
+#[must_use]
+pub fn select_summary(
+    estimate: &OverlapEstimate,
+    knobs: &PolicyKnobs,
+    sizing: &SummarySizing,
+    registry: &SummaryRegistry,
+) -> Option<SummaryId> {
+    let est = diff_estimate(estimate);
+    let mut best: Option<(f64, SummaryId)> = None;
+    for spec in registry.iter() {
+        let recall = (spec.expected_recall)(sizing, &est);
+        if recall + 1e-12 < knobs.min_recall {
+            continue;
+        }
+        let score =
+            (spec.wire_cost)(sizing, &est) + knobs.compute_weight * (spec.compute_cost)(sizing, &est);
+        if best.is_none_or(|(best_score, _)| score < best_score) {
+            best = Some((score, spec.id));
+        }
+    }
+    best.map(|(_, id)| id)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::summary::standard_registry;
 
     fn est(resemblance: f64, a: u64, b: u64) -> OverlapEstimate {
         OverlapEstimate::from_resemblance(resemblance, a, b)
     }
 
+    fn plan(estimate: &OverlapEstimate, knobs: &PolicyKnobs) -> TransferPlan {
+        plan_transfer(
+            estimate,
+            knobs,
+            &SummarySizing::default(),
+            &standard_registry(),
+        )
+    }
+
     #[test]
     fn identical_peers_rejected() {
-        let plan = plan_transfer(&est(1.0, 1000, 1000), &PolicyKnobs::default());
+        let plan = plan(&est(1.0, 1000, 1000), &PolicyKnobs::default());
         assert_eq!(plan, TransferPlan::Reject);
     }
 
     #[test]
     fn near_identical_rejected_by_threshold() {
-        let plan = plan_transfer(&est(0.995, 1000, 1000), &PolicyKnobs::default());
+        let plan = plan(&est(0.995, 1000, 1000), &PolicyKnobs::default());
         assert_eq!(plan, TransferPlan::Reject);
     }
 
     #[test]
-    fn large_difference_uses_bloom() {
-        // Disjoint equal-size sets: everything useful.
-        let plan = plan_transfer(&est(0.0, 1000, 1000), &PolicyKnobs::default());
+    fn large_difference_scores_to_bloom() {
+        // Disjoint equal-size sets: everything useful. Bloom's small
+        // wire footprint wins; the ART's O(d log n) search is priced out
+        // at d = n.
+        let plan = plan(&est(0.0, 1000, 1000), &PolicyKnobs::default());
         assert_eq!(
             plan,
             TransferPlan::Reconciled {
-                summary: SummaryChoice::Bloom
+                summary: SummaryId::BLOOM
             }
         );
     }
 
     #[test]
-    fn small_difference_uses_art() {
-        // 1000 vs 1000 with r = 0.96 → useful fraction ≈ 2 % < 5 %.
-        let plan = plan_transfer(&est(0.96, 1000, 1000), &PolicyKnobs::default());
+    fn small_difference_scores_to_art() {
+        // 1000 vs 1000 with r = 0.96 → d ≈ 20. The ART's halved bit
+        // budget and O(d log n) search beat Bloom's O(n) scan.
+        let plan = plan(&est(0.96, 1000, 1000), &PolicyKnobs::default());
         assert_eq!(
             plan,
             TransferPlan::Reconciled {
-                summary: SummaryChoice::Art
+                summary: SummaryId::ART
             }
         );
+    }
+
+    #[test]
+    fn precision_knobs_unlock_exact_mechanisms() {
+        // A recall floor above Bloom/ART accuracy and free compute: the
+        // char-poly sketch (O(d) wire) wins small differences, the
+        // truncated hash set wins large ones — §5.1's regime, reachable
+        // through the same scoring that picks Bloom/ART by default.
+        let knobs = PolicyKnobs {
+            min_recall: 0.98,
+            compute_weight: 0.0,
+            ..PolicyKnobs::default()
+        };
+        assert_eq!(
+            plan(&est(0.96, 1000, 1000), &knobs),
+            TransferPlan::Reconciled {
+                summary: SummaryId::CHAR_POLY
+            }
+        );
+        assert_eq!(
+            plan(&est(0.0, 1000, 1000), &knobs),
+            TransferPlan::Reconciled {
+                summary: SummaryId::HASH_SET
+            }
+        );
+        // Demanding exactly 1.0 leaves only the whole-set exchange.
+        let exact = PolicyKnobs {
+            min_recall: 1.0,
+            compute_weight: 0.0,
+            ..PolicyKnobs::default()
+        };
+        assert_eq!(
+            plan(&est(0.5, 1000, 1000), &exact),
+            TransferPlan::Reconciled {
+                summary: SummaryId::WHOLE_SET
+            }
+        );
+    }
+
+    #[test]
+    fn impossible_recall_floor_falls_back_to_speculative() {
+        let knobs = PolicyKnobs {
+            min_recall: 1.1,
+            ..PolicyKnobs::default()
+        };
+        assert!(matches!(
+            plan(&est(0.5, 1000, 1000), &knobs),
+            TransferPlan::Speculative { .. }
+        ));
+        // An empty registry behaves the same way.
+        let none = plan_transfer(
+            &est(0.5, 1000, 1000),
+            &PolicyKnobs::default(),
+            &SummarySizing::default(),
+            &SummaryRegistry::new(),
+        );
+        assert!(matches!(none, TransferPlan::Speculative { .. }));
     }
 
     #[test]
@@ -160,7 +296,7 @@ mod tests {
             fine_grained_capable: false,
             ..PolicyKnobs::default()
         };
-        let plan = plan_transfer(&est(0.5, 1000, 1000), &knobs);
+        let plan = plan(&est(0.5, 1000, 1000), &knobs);
         match plan {
             TransferPlan::Speculative {
                 recode: RecodePolicy::MinwiseScaled { containment },
@@ -175,13 +311,21 @@ mod tests {
     #[test]
     fn subset_sender_rejected() {
         // B ⊂ A: nothing useful regardless of resemblance.
-        let plan = plan_transfer(&est(0.1, 1000, 100), &PolicyKnobs::default());
+        let plan = plan(&est(0.1, 1000, 100), &PolicyKnobs::default());
         assert_eq!(plan, TransferPlan::Reject);
     }
 
     #[test]
     fn empty_estimate_is_rejected_not_crashed() {
-        let plan = plan_transfer(&est(0.0, 0, 0), &PolicyKnobs::default());
+        let plan = plan(&est(0.0, 0, 0), &PolicyKnobs::default());
         assert_eq!(plan, TransferPlan::Reject);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_choice_converts_to_ids() {
+        assert_eq!(SummaryId::from(SummaryChoice::None), SummaryId::NONE);
+        assert_eq!(SummaryId::from(SummaryChoice::Bloom), SummaryId::BLOOM);
+        assert_eq!(SummaryId::from(SummaryChoice::Art), SummaryId::ART);
     }
 }

@@ -8,42 +8,61 @@
 //! 3. Receiver applies [`crate::policy::plan_transfer`]:
 //!    * *Reject* — session ends (admission control; no bandwidth spent
 //!      beyond two 1 KB packets).
-//!    * *Reconciled* — receiver sends its Bloom or ART summary plus a
-//!      `SymbolRequest{count}`.
+//!    * *Reconciled* — receiver builds the chosen summary through its
+//!      [`SummaryRegistry`] and sends it in the generic tagged frame,
+//!      plus a `SymbolRequest{count}`. Any registered mechanism —
+//!      whole-set, hash-set, char-poly, bloom, art, or an out-of-tree
+//!      one — takes this path; the machines never name a mechanism.
 //!    * *Speculative* — receiver sends only `SymbolRequest{count}`.
 //! 4. **S → R**: up to `count` data messages — encoded symbols the
-//!    summary clears (reconciled), or recoded symbols with min-wise-
-//!    scaled degrees (speculative) — then `End`.
+//!    decoded summary's [`Reconciler`](crate::summary::Reconciler)
+//!    cleared (reconciled), or recoded symbols with min-wise-scaled
+//!    degrees (speculative) — then `End`.
 //!
 //! The machines are pure: `on_message` consumes one message and returns
 //! the messages to transmit. They can be driven over TCP (the
 //! `tcp_reconcile` example), in-memory queues ([`pump`], used by tests),
 //! or anything else that moves bytes.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
-use icd_art::SummaryParams;
 use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, Recoder};
 use icd_sketch::MinwiseSketch;
 use icd_util::rng::Xoshiro256StarStar;
 use icd_wire::Message;
 
-use crate::policy::{plan_transfer, PolicyKnobs, SummaryChoice, TransferPlan};
+use crate::policy::{plan_transfer, PolicyKnobs, TransferPlan};
+use crate::summary::{
+    diff_estimate, standard_registry_arc, SummaryError, SummaryId, SummaryRegistry, SummarySizing,
+};
 use crate::working_set::WorkingSet;
 
-/// Session-level configuration (receiver side).
-#[derive(Debug, Clone, Copy)]
+/// Session-level configuration (receiver side), built with the
+/// `with_*` methods:
+///
+/// ```
+/// use icd_core::{SessionConfig, summary::SummaryId};
+/// let config = SessionConfig::new()
+///     .with_request(256)
+///     .with_summary(SummaryId::CHAR_POLY);
+/// ```
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Symbols to request (§6.1: chosen "with appropriate allowances for
     /// decoding overhead").
     pub request: u64,
     /// Policy knobs for plan selection.
     pub knobs: PolicyKnobs,
-    /// Bloom sizing when the plan chooses a Bloom summary.
-    pub bloom_bits_per_element: f64,
-    /// ART sizing when the plan chooses an ART summary.
-    pub art_params: SummaryParams,
+    /// Summary sizing shared by every registered mechanism.
+    pub sizing: SummarySizing,
+    /// When set, skip policy scoring and ship exactly this summary —
+    /// how experiment sweeps pin each mechanism in turn.
+    pub summary_override: Option<SummaryId>,
     /// RNG seed (recoding draws on the sender side use the peer's seed).
     pub seed: u64,
+    /// The mechanism registry both construction and scoring consult.
+    pub registry: Arc<SummaryRegistry>,
 }
 
 impl Default for SessionConfig {
@@ -51,10 +70,64 @@ impl Default for SessionConfig {
         Self {
             request: 128,
             knobs: PolicyKnobs::default(),
-            bloom_bits_per_element: 8.0,
-            art_params: SummaryParams::standard(),
+            sizing: SummarySizing::default(),
+            summary_override: None,
             seed: 0x5E55_1014,
+            registry: standard_registry_arc(),
         }
+    }
+}
+
+impl SessionConfig {
+    /// Starts a builder chain from the defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of symbols to request.
+    #[must_use]
+    pub fn with_request(mut self, request: u64) -> Self {
+        self.request = request;
+        self
+    }
+
+    /// Sets the policy knobs.
+    #[must_use]
+    pub fn with_knobs(mut self, knobs: PolicyKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Sets the summary sizing.
+    #[must_use]
+    pub fn with_sizing(mut self, sizing: SummarySizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Forces a specific summary mechanism instead of policy scoring.
+    /// §4 admission control still applies: a peer with nothing useful is
+    /// rejected before the pinned digest is built.
+    #[must_use]
+    pub fn with_summary(mut self, id: SummaryId) -> Self {
+        self.summary_override = Some(id);
+        self
+    }
+
+    /// Sets the session seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the summary registry (e.g. one with a private mechanism
+    /// registered).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<SummaryRegistry>) -> Self {
+        self.registry = registry;
+        self
     }
 }
 
@@ -71,6 +144,24 @@ pub enum SessionError {
     },
     /// The peer's sketch uses a different permutation family.
     FamilyMismatch,
+    /// A summary frame named a mechanism absent from this side's
+    /// registry.
+    UnknownSummary {
+        /// The raw id the frame carried.
+        id: u16,
+    },
+    /// A summary body failed its mechanism's decoder.
+    MalformedSummary(&'static str),
+}
+
+impl From<SummaryError> for SessionError {
+    fn from(err: SummaryError) -> Self {
+        match err {
+            SummaryError::Unknown(id) => Self::UnknownSummary { id: id.0 },
+            SummaryError::Malformed(why) => Self::MalformedSummary(why),
+            SummaryError::DuplicateId(_) => Self::MalformedSummary("duplicate summary id"),
+        }
+    }
 }
 
 impl std::fmt::Display for SessionError {
@@ -80,6 +171,8 @@ impl std::fmt::Display for SessionError {
                 write!(f, "unexpected {got} in state {state}")
             }
             Self::FamilyMismatch => write!(f, "peer sketch from a different permutation family"),
+            Self::UnknownSummary { id } => write!(f, "summary id {id} not in registry"),
+            Self::MalformedSummary(why) => write!(f, "summary body rejected: {why}"),
         }
     }
 }
@@ -91,8 +184,7 @@ fn describe(msg: &Message) -> &'static str {
         Message::Minwise(_) => "minwise sketch",
         Message::RandomSample(_) => "random sample",
         Message::ModK(_) => "mod-k sample",
-        Message::Bloom(_) => "bloom summary",
-        Message::Art(_) => "art summary",
+        Message::Summary { .. } => "summary frame",
         Message::SymbolRequest { .. } => "symbol request",
         Message::EncodedSymbol { .. } => "encoded symbol",
         Message::RecodedSymbol { .. } => "recoded symbol",
@@ -153,31 +245,56 @@ impl ReceiverSession {
                     return Err(SessionError::FamilyMismatch);
                 }
                 let estimate = working.estimate_against(peer_sketch);
-                let plan = plan_transfer(&estimate, &self.config.knobs);
-                self.plan = Some(plan);
+                // An override pins the mechanism (sweeps comparing
+                // mechanisms must not have policy re-deciding per cell);
+                // otherwise policy scores the registry. §4 admission
+                // control applies either way — a provably useless peer
+                // is rejected before any digest is built.
+                let scored = plan_transfer(
+                    &estimate,
+                    &self.config.knobs,
+                    &self.config.sizing,
+                    &self.config.registry,
+                );
+                let plan = match (self.config.summary_override, scored) {
+                    (_, TransferPlan::Reject) => TransferPlan::Reject,
+                    (Some(id), _) => TransferPlan::Reconciled { summary: id },
+                    (None, scored) => scored,
+                };
                 match plan {
                     TransferPlan::Reject => {
+                        self.plan = Some(plan);
                         self.state = ReceiverState::Rejected;
                         Ok(vec![Message::End { sent: 0 }])
                     }
                     TransferPlan::Reconciled { summary } => {
-                        self.state = ReceiverState::Streaming;
+                        // Build the digest *before* committing plan and
+                        // state: a registry failure (unknown override
+                        // id, constructor error) must leave the machine
+                        // in AwaitPeerSketch, not half-streaming.
                         let mut out = Vec::new();
-                        match summary {
-                            SummaryChoice::Bloom => out.push(Message::Bloom(
-                                working.bloom_summary(self.config.bloom_bits_per_element),
-                            )),
-                            SummaryChoice::Art => out.push(Message::Art(
-                                working.art_summary(self.config.art_params),
-                            )),
-                            SummaryChoice::None => {}
+                        if summary != SummaryId::NONE {
+                            let est = diff_estimate(&estimate);
+                            let digest = self.config.registry.build(
+                                summary,
+                                &self.config.sizing,
+                                &est,
+                                &working.sorted_ids(),
+                            )?;
+                            out.push(Message::Summary {
+                                summary_id: summary.0,
+                                body: digest.encode_body(),
+                            });
                         }
                         out.push(Message::SymbolRequest {
                             count: self.config.request,
                         });
+                        self.plan = Some(plan);
+                        self.state = ReceiverState::Streaming;
                         Ok(out)
                     }
                     TransferPlan::Speculative { .. } => {
+                        self.plan = Some(plan);
                         self.state = ReceiverState::Streaming;
                         Ok(vec![Message::SymbolRequest {
                             count: self.config.request,
@@ -265,6 +382,7 @@ impl ReceiverSession {
 pub struct SenderSession {
     working: WorkingSet,
     state: SenderState,
+    registry: Arc<SummaryRegistry>,
     /// Receiver sketch, kept for speculative-degree estimation.
     receiver_sketch: Option<MinwiseSketch>,
     /// Candidate symbols cleared by a receiver summary.
@@ -280,12 +398,21 @@ enum SenderState {
 }
 
 impl SenderSession {
-    /// Creates the sender side over a snapshot of its working set.
+    /// Creates the sender side over a snapshot of its working set, with
+    /// the standard registry.
     #[must_use]
     pub fn new(working: WorkingSet, seed: u64) -> Self {
+        Self::with_registry(working, seed, standard_registry_arc())
+    }
+
+    /// Creates the sender side with an explicit registry (must cover
+    /// every mechanism the receiver may choose).
+    #[must_use]
+    pub fn with_registry(working: WorkingSet, seed: u64, registry: Arc<SummaryRegistry>) -> Self {
         Self {
             working,
             state: SenderState::AwaitSketch,
+            registry,
             receiver_sketch: None,
             candidates: None,
             rng: Xoshiro256StarStar::new(seed),
@@ -303,17 +430,11 @@ impl SenderSession {
                 self.state = SenderState::AwaitPlan;
                 Ok(vec![Message::Minwise(self.working.sketch().clone())])
             }
-            (SenderState::AwaitPlan, Message::Bloom(filter)) => {
-                let candidates: Vec<EncodedSymbol> = self
-                    .working
-                    .symbols()
-                    .filter(|s| !filter.contains(s.id))
-                    .collect();
-                self.candidates = Some(candidates);
-                Ok(vec![])
-            }
-            (SenderState::AwaitPlan, Message::Art(summary)) => {
-                let missing = self.working.missing_at_peer(summary);
+            (SenderState::AwaitPlan, Message::Summary { summary_id, body }) => {
+                // One dispatch for every mechanism: registry decode, then
+                // the Reconciler trait produces the cleared candidates.
+                let reconciler = self.registry.decode(SummaryId(*summary_id), body)?;
+                let missing = reconciler.missing_at_peer(&self.working.sorted_ids());
                 let candidates: Vec<EncodedSymbol> = missing
                     .into_iter()
                     .filter_map(|id| {
@@ -414,6 +535,19 @@ pub fn pump(
     sender: &mut SenderSession,
     opening: Vec<Message>,
 ) -> Result<(u64, u64), SessionError> {
+    pump_observed(receiver, receiver_working, sender, opening, |_| {})
+}
+
+/// [`pump`] with an observer invoked on every message as it is
+/// delivered — the instrumentation hook byte-accounting harnesses use,
+/// guaranteed to see exactly the exchange the plain pump drives.
+pub fn pump_observed(
+    receiver: &mut ReceiverSession,
+    receiver_working: &mut WorkingSet,
+    sender: &mut SenderSession,
+    opening: Vec<Message>,
+    mut observe: impl FnMut(&Message),
+) -> Result<(u64, u64), SessionError> {
     let mut to_sender: std::collections::VecDeque<Message> = opening.into();
     let mut to_receiver: std::collections::VecDeque<Message> = std::collections::VecDeque::new();
     let mut count_s = 0u64;
@@ -422,11 +556,13 @@ pub fn pump(
         let mut progressed = false;
         if let Some(msg) = to_sender.pop_front() {
             count_s += 1;
+            observe(&msg);
             to_receiver.extend(sender.on_message(&msg)?);
             progressed = true;
         }
         if let Some(msg) = to_receiver.pop_front() {
             count_r += 1;
+            observe(&msg);
             to_sender.extend(receiver.on_message(receiver_working, &msg)?);
             progressed = true;
         }
@@ -481,20 +617,17 @@ mod tests {
         let mut sender_ids = shared.clone();
         sender_ids.extend(fresh.iter().copied());
         let send_ws = working(&sender_ids);
-        let config = SessionConfig {
-            request: 1000,
-            ..SessionConfig::default()
-        };
+        let config = SessionConfig::new().with_request(1000);
         let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
         let mut send = SenderSession::new(send_ws, 8);
         pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
         assert!(recv.is_done());
-        assert!(matches!(
+        assert_eq!(
             recv.plan(),
             Some(TransferPlan::Reconciled {
-                summary: SummaryChoice::Bloom
+                summary: SummaryId::BLOOM
             })
-        ));
+        );
         // Gained symbols ⊆ fresh, and nearly all of fresh (Bloom FPs may
         // withhold a few).
         assert!(recv.gained() as usize <= fresh.len());
@@ -522,20 +655,17 @@ mod tests {
         let mut sender_ids = shared.clone();
         sender_ids.extend(fresh.iter().copied());
         let send_ws = working(&sender_ids);
-        let config = SessionConfig {
-            request: 100,
-            ..SessionConfig::default()
-        };
+        let config = SessionConfig::new().with_request(100);
         let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
         let mut send = SenderSession::new(send_ws, 9);
         pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
         assert!(recv.is_done());
-        assert!(matches!(
+        assert_eq!(
             recv.plan(),
             Some(TransferPlan::Reconciled {
-                summary: SummaryChoice::Art
+                summary: SummaryId::ART
             })
-        ));
+        );
         assert!(recv.gained() > 0, "ART transfer should deliver something");
         // Everything gained is genuinely fresh.
         for id in &shared {
@@ -551,14 +681,12 @@ mod tests {
         let mut sender_ids = shared.clone();
         sender_ids.extend(fresh.iter().copied());
         let send_ws = working(&sender_ids);
-        let config = SessionConfig {
-            request: 2000,
-            knobs: PolicyKnobs {
+        let config = SessionConfig::new()
+            .with_request(2000)
+            .with_knobs(PolicyKnobs {
                 fine_grained_capable: false,
                 ..PolicyKnobs::default()
-            },
-            ..SessionConfig::default()
-        };
+            });
         let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
         let mut send = SenderSession::new(send_ws, 10);
         pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
@@ -591,13 +719,67 @@ mod tests {
     }
 
     #[test]
+    fn summary_override_does_not_bypass_admission_control() {
+        // §4: an identical peer is rejected even when a sweep pins a
+        // mechanism — no digest is built for a provably useless sender.
+        let shared = ids(500, 40);
+        let mut recv_ws = working(&shared);
+        let send_ws = working(&shared);
+        let config = SessionConfig::new().with_summary(SummaryId::WHOLE_SET);
+        let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
+        let mut send = SenderSession::new(send_ws, 41);
+        pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");
+        assert!(recv.was_rejected());
+        assert_eq!(recv.plan(), Some(TransferPlan::Reject));
+        assert_eq!(recv.gained(), 0);
+    }
+
+    #[test]
+    fn receiver_build_failure_leaves_the_machine_intact() {
+        // An override naming an unregistered mechanism errors on the
+        // peer sketch — and the machine stays in AwaitPeerSketch with no
+        // plan, so a corrected retry (or clean teardown) is possible.
+        let recv_ws = working(&ids(200, 30));
+        let send_ws = working(&ids(200, 31));
+        let config = SessionConfig::new().with_summary(SummaryId(0x8001));
+        let (mut recv, _) = ReceiverSession::start(&recv_ws, config);
+        let mut ws = recv_ws.clone();
+        let peer = Message::Minwise(send_ws.sketch().clone());
+        let err = recv.on_message(&mut ws, &peer);
+        assert_eq!(err, Err(SessionError::UnknownSummary { id: 0x8001 }));
+        assert!(recv.plan().is_none(), "no plan may be committed");
+        // Still awaiting a sketch: the same message is not "unexpected".
+        let err = recv.on_message(&mut ws, &peer);
+        assert_eq!(err, Err(SessionError::UnknownSummary { id: 0x8001 }));
+    }
+
+    #[test]
+    fn unknown_and_malformed_summaries_are_errors() {
+        let shared = ids(100, 20);
+        let mut send = SenderSession::new(working(&shared), 21);
+        let recv_ws = working(&shared);
+        let _ = send
+            .on_message(&Message::Minwise(recv_ws.sketch().clone()))
+            .expect("sketch accepted");
+        // An id outside the registry.
+        let err = send.on_message(&Message::Summary {
+            summary_id: 0x7777,
+            body: vec![],
+        });
+        assert_eq!(err, Err(SessionError::UnknownSummary { id: 0x7777 }));
+        // A registered id with a garbage body.
+        let err = send.on_message(&Message::Summary {
+            summary_id: SummaryId::BLOOM.0,
+            body: vec![1, 2, 3],
+        });
+        assert!(matches!(err, Err(SessionError::MalformedSummary(_))));
+    }
+
+    #[test]
     fn request_bounds_the_stream() {
         let mut recv_ws = working(&ids(100, 13));
         let send_ws = working(&ids(500, 14)); // disjoint
-        let config = SessionConfig {
-            request: 50,
-            ..SessionConfig::default()
-        };
+        let config = SessionConfig::new().with_request(50);
         let (mut recv, opening) = ReceiverSession::start(&recv_ws, config);
         let mut send = SenderSession::new(send_ws, 15);
         pump(&mut recv, &mut recv_ws, &mut send, opening).expect("pump");

@@ -9,8 +9,7 @@
 //! from current state.
 
 use bytes::Bytes;
-use icd_art::{ArtParams, ArtSummary, ReconciliationTree, SummaryParams};
-use icd_bloom::BloomFilter;
+use icd_art::{ArtParams, ReconciliationTree};
 use icd_fountain::{EncodedSymbol, SymbolId};
 use icd_sketch::{MinwiseSketch, OverlapEstimate, PermutationFamily};
 use std::collections::HashMap;
@@ -97,6 +96,29 @@ impl WorkingSet {
         self.symbols.keys().copied()
     }
 
+    /// All symbol ids, sorted ascending. Summary construction and
+    /// reconciliation consume this form so their outputs never depend on
+    /// hash-map iteration order.
+    #[must_use]
+    pub fn sorted_ids(&self) -> Vec<SymbolId> {
+        let mut ids: Vec<SymbolId> = self.symbols.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Builds the digest of the current ids under any registered
+    /// mechanism — the one summary-construction path ([`crate::session`]
+    /// uses the registry equivalently).
+    pub fn build_summary(
+        &self,
+        id: crate::summary::SummaryId,
+        sizing: &crate::summary::SummarySizing,
+        estimate: &crate::summary::DiffEstimate,
+        registry: &crate::summary::SummaryRegistry,
+    ) -> Result<Box<dyn crate::summary::SetSummary>, crate::summary::SummaryError> {
+        registry.build(id, sizing, estimate, &self.sorted_ids())
+    }
+
     /// Materializes the symbols (unordered).
     pub fn symbols(&self) -> impl Iterator<Item = EncodedSymbol> + '_ {
         self.symbols.iter().map(|(&id, payload)| EncodedSymbol {
@@ -118,37 +140,10 @@ impl WorkingSet {
         self.sketch.estimate(peer_sketch)
     }
 
-    /// Builds a Bloom filter over the current ids at `bits_per_element`.
-    #[must_use]
-    pub fn bloom_summary(&self, bits_per_element: f64) -> BloomFilter {
-        let mut f = BloomFilter::with_bits_per_element(
-            self.symbols.len().max(1),
-            bits_per_element,
-            0xF117E5,
-        );
-        for &id in self.symbols.keys() {
-            f.insert(id);
-        }
-        f
-    }
-
-    /// Builds an ART summary of the current ids.
-    #[must_use]
-    pub fn art_summary(&self, params: SummaryParams) -> ArtSummary {
-        ArtSummary::build(&self.tree, params)
-    }
-
     /// The live reconciliation tree (for searching a peer's summary).
     #[must_use]
     pub fn tree(&self) -> &ReconciliationTree {
         &self.tree
-    }
-
-    /// Symbols this peer holds that `peer_summary` proves the peer lacks
-    /// — the "reconciled transfer" input (§3).
-    #[must_use]
-    pub fn missing_at_peer(&self, peer_summary: &ArtSummary) -> Vec<SymbolId> {
-        icd_art::search_differences(&self.tree, peer_summary).missing_at_peer
     }
 }
 
@@ -214,16 +209,25 @@ mod tests {
     }
 
     #[test]
-    fn bloom_summary_covers_contents() {
+    fn built_summaries_cover_contents() {
+        use crate::summary::{standard_registry, DiffEstimate, SummarySizing};
         let ws = filled(0..1000, 3);
-        let filter = ws.bloom_summary(8.0);
-        for id in ws.ids() {
-            assert!(filter.contains(id));
+        let registry = standard_registry();
+        let est = DiffEstimate::new(ws.len(), ws.len(), 10);
+        for id in registry.ids() {
+            let digest = ws
+                .build_summary(id, &SummarySizing::default(), &est, &registry)
+                .expect("registered mechanism");
+            // No mechanism may deny its own contents (one-sided error).
+            for key in ws.ids() {
+                assert!(digest.probably_contains(key), "{id} denied own key");
+            }
         }
     }
 
     #[test]
     fn art_reconciliation_between_working_sets() {
+        use crate::summary::{standard_registry, DiffEstimate, SummaryId, SummarySizing};
         let mut rng = Xoshiro256StarStar::new(4);
         let shared: Vec<u64> = (0..2000).map(|_| rng.next_u64()).collect();
         let a = WorkingSet::from_symbols(shared.iter().map(|&id| sym(id)));
@@ -232,8 +236,12 @@ mod tests {
         for &id in &fresh {
             b.insert(sym(id));
         }
-        let summary = a.art_summary(SummaryParams::standard());
-        let found = b.missing_at_peer(&summary);
+        let registry = standard_registry();
+        let est = DiffEstimate::new(a.len(), b.len(), fresh.len());
+        let summary = a
+            .build_summary(SummaryId::ART, &SummarySizing::default(), &est, &registry)
+            .expect("art registered");
+        let found = summary.missing_at_peer(&b.sorted_ids());
         assert!(!found.is_empty());
         // One-sided error: everything found is genuinely missing at A.
         for id in &found {

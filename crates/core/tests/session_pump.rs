@@ -1,8 +1,11 @@
 //! Session round-trips over the in-memory pump: both transfer plans
 //! (reconciled and speculative) must carry the receiver to its request
-//! target, and the plan chosen must match the policy configuration.
+//! target, the plan chosen must match the policy configuration, and —
+//! the registry contract — every registered summary mechanism must
+//! carry a session end to end when pinned by id.
 
 use bytes::Bytes;
+use icd_core::summary::{standard_registry, SummaryId};
 use icd_core::{
     pump, PolicyKnobs, ReceiverSession, SenderSession, SessionConfig, TransferPlan, WorkingSet,
 };
@@ -114,6 +117,64 @@ fn speculative_plan_reaches_the_target_over_repeated_sessions() {
         "speculative sessions stalled at {} of target {target}",
         receiver_ws.len()
     );
+}
+
+#[test]
+fn every_registered_summary_carries_a_session_end_to_end() {
+    // The acceptance bar for the trait API: whole-set, hash-set,
+    // char-poly, bloom, and art all drive the *same* session machines
+    // over the *same* generic wire frame, selected purely by SummaryId.
+    for mechanism in standard_registry().ids() {
+        let (mut receiver_ws, sender_ws) = overlapping_sets(400, 40, 80);
+        let sender_ids: std::collections::HashSet<u64> = sender_ws.ids().collect();
+        let before: std::collections::HashSet<u64> = receiver_ws.ids().collect();
+        let true_diff = sender_ids.difference(&before).count() as u64;
+        let config = SessionConfig::new()
+            .with_request(200)
+            .with_summary(mechanism)
+            .with_seed(0x1D ^ u64::from(mechanism.0));
+        let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
+        let mut sender = SenderSession::new(sender_ws, 0xBEEF ^ u64::from(mechanism.0));
+        pump(&mut session, &mut receiver_ws, &mut sender, opening)
+            .unwrap_or_else(|e| panic!("{mechanism}: session failed: {e}"));
+        assert!(session.is_done(), "{mechanism}: session did not finish");
+        assert_eq!(
+            session.plan(),
+            Some(TransferPlan::Reconciled { summary: mechanism }),
+            "{mechanism}: plan must carry the pinned id"
+        );
+        assert!(
+            session.gained() > 0,
+            "{mechanism}: no symbols moved end-to-end"
+        );
+        assert!(
+            session.gained() <= true_diff,
+            "{mechanism}: gained {} exceeds the true difference {true_diff}",
+            session.gained()
+        );
+        // Exact mechanisms deliver the full difference; approximate ones
+        // must clear a usable share (one-sided error only withholds).
+        let exact = mechanism == SummaryId::WHOLE_SET || mechanism == SummaryId::CHAR_POLY;
+        if exact {
+            assert_eq!(
+                session.gained(),
+                true_diff,
+                "{mechanism}: exact mechanism fell short"
+            );
+        } else {
+            assert!(
+                session.gained() * 2 >= true_diff,
+                "{mechanism}: cleared only {} of {true_diff}",
+                session.gained()
+            );
+        }
+        // One-sided error: everything gained came from the sender.
+        for id in receiver_ws.ids() {
+            if !before.contains(&id) {
+                assert!(sender_ids.contains(&id), "{mechanism}: alien symbol {id}");
+            }
+        }
+    }
 }
 
 #[test]

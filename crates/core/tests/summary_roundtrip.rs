@@ -1,0 +1,58 @@
+//! Registry-wide round-trip property: for every registered mechanism,
+//! `build → encode → decode` yields a reconciler whose answers match the
+//! original digest on arbitrary key sets — the contract that makes the
+//! generic wire frame safe to dispatch on.
+
+use icd_core::summary::{standard_registry, DiffEstimate, SummarySizing};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+    #[test]
+    fn every_mechanism_roundtrips_membership(
+        shared in proptest::collection::vec(any::<u64>(), 10..200),
+        foreign in proptest::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let registry = standard_registry();
+        let sizing = SummarySizing::default();
+        // Summarize `shared`; probe with shared ∪ foreign.
+        let mut keys = shared.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut probes: Vec<u64> = keys.iter().chain(foreign.iter()).copied().collect();
+        probes.sort_unstable();
+        probes.dedup();
+        let est = DiffEstimate::new(keys.len(), probes.len(), foreign.len());
+        for spec in registry.iter() {
+            let digest = (spec.build)(&sizing, &est, &keys);
+            let body = digest.encode_body();
+            let decoded = (spec.decode)(&body)
+                .unwrap_or_else(|e| panic!("{}: decode failed: {e}", spec.id));
+            prop_assert_eq!(decoded.id(), spec.id);
+            // Same membership answers: the decoded reconciler's diff of
+            // any probe set equals the original digest's.
+            let before = digest.missing_at_peer(&probes);
+            let after = decoded.missing_at_peer(&probes);
+            prop_assert_eq!(&before, &after, "{} diverged after roundtrip", spec.id);
+            // One-sided error: nothing summarized is ever reported
+            // missing (up to the mechanism's documented collisions —
+            // none at these sizes for the shipped five).
+            for k in &keys {
+                prop_assert!(
+                    !after.contains(k),
+                    "{} reported a summarized key {k} as missing", spec.id
+                );
+            }
+            // Membership probes bound the diff from above: every id the
+            // reconciler reports missing must also fail (or be
+            // unanswerable by) the per-key probe, so the two views never
+            // contradict. (ART's search can prune before reaching a
+            // missing leaf, so the probe count may exceed the diff; the
+            // reverse would be a bug.)
+            prop_assert!(
+                digest.estimated_difference(&probes) >= after.len(),
+                "{} probe count below its own diff", spec.id
+            );
+        }
+    }
+}

@@ -24,7 +24,7 @@ use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 use crate::receiver::Receiver;
 use crate::scenario::ScenarioParams;
 use crate::strategy::{ReceiverHandshake, Sender, StrategyKind};
-use crate::transfer::{default_max_ticks, TransferOutcome, FILTER_BITS_PER_ELEMENT};
+use crate::transfer::{default_max_ticks, TransferOutcome};
 use crate::SymbolId;
 
 /// Configuration for a migration run.
@@ -105,17 +105,21 @@ pub fn run_with_migration(
     let mut handshakes = 0u64;
     let mut connect = |i: usize, receiver: &Receiver, seeds: &mut SplitMix64| -> Sender {
         handshakes += 1;
+        let working = receiver.working_set();
         let handshake = ReceiverHandshake::for_strategy(
             strategy,
-            &receiver.working_set(),
-            FILTER_BITS_PER_ELEMENT,
+            &working,
+            &crate::transfer::standard_sizing(),
             &family,
+            icd_recon::shared_registry(),
+            &crate::transfer::handshake_estimate(working.len(), pool_sets[i].len(), receiver.remaining()),
         );
         Sender::new(
             strategy,
             pool_sets[i].clone(),
             &handshake,
             &family,
+            icd_recon::shared_registry(),
             seeds.next_u64(),
             receiver.remaining(),
         )
@@ -171,6 +175,7 @@ pub fn run_with_migration(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icd_summary::SummaryId;
 
     #[test]
     fn migration_does_not_prevent_completion() {
@@ -203,7 +208,7 @@ mod tests {
         let params = ScenarioParams::compact(3000, 22);
         let churned = run_with_migration(
             &params,
-            StrategyKind::RandomBloom,
+            StrategyKind::RandomSummary(SummaryId::BLOOM),
             MigrationConfig {
                 migration_interval: 50,
                 sender_pool: 5,
@@ -226,7 +231,7 @@ mod tests {
             sender_pool: 4,
         };
         let random = run_with_migration(&params, StrategyKind::Random, config, 7);
-        let informed = run_with_migration(&params, StrategyKind::RandomBloom, config, 7);
+        let informed = run_with_migration(&params, StrategyKind::RandomSummary(SummaryId::BLOOM), config, 7);
         assert!(random.transfer.completed && informed.transfer.completed);
         assert!(
             informed.transfer.overhead() < random.transfer.overhead(),

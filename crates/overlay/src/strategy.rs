@@ -1,32 +1,38 @@
-//! The five sender strategies of §6.2.
+//! The sender strategies of §6.2, generalized over summary mechanisms.
+//!
+//! The paper presents five strategies; the two informed ones use a Bloom
+//! filter. Here the informed strategies are parameterized by
+//! [`SummaryId`], so *any* mechanism registered in the peers'
+//! [`SummaryRegistry`] — Bloom, ART, whole-set, hash-set, char-poly —
+//! can drive them, and the experiment grid can sweep mechanisms as a
+//! strategy axis:
 //!
 //! * **Random** — "The transmitting node randomly picks an available
 //!   symbol to send. This simple strategy is used by Swarmcast." Uniform
 //!   with replacement: the sender is stateless per packet, the honest
 //!   reading of an uninformed gossip sender (and what produces the
 //!   coupon-collector behaviour the paper highlights).
-//! * **Random/BF** — "selects symbols at random and sends those which
-//!   are not elements of the Bloom filter provided by the receiver."
-//!   Rejection against the filter leaves a candidate list the sender
-//!   walks in random order without repetition (resending a symbol the
-//!   filter already cleared would be pure waste the sender can avoid for
-//!   free); the filter is never updated mid-transfer, as in §6.1.
+//! * **Random/summary** — the paper's Random/BF with a pluggable digest:
+//!   the receiver's encoded summary frame is decoded through the
+//!   registry, and the resulting `Reconciler` yields the candidate list
+//!   the sender walks in random order without repetition (resending a
+//!   symbol the digest already cleared would be pure waste the sender
+//!   can avoid for free); the digest is never updated mid-transfer, as
+//!   in §6.1.
 //! * **Recode** — recoded symbols over the sender's *entire* working set
 //!   with the capped degree distribution (degree limit 50, §6.1).
-//! * **Recode/BF** — recoded symbols generated only from symbols outside
-//!   the receiver's Bloom filter, with the recoding *domain* restricted
-//!   to roughly the number of symbols the receiver requested ("we
-//!   restrict the recoding domain to an appropriate small size", §6.1) —
-//!   recoding over the full candidate set would make the receiver pay
-//!   for a fountain over symbols it does not need.
+//! * **Recode/summary** — the paper's Recode/BF, likewise generalized:
+//!   recoding restricted to the digest-cleared candidates, with the
+//!   recoding *domain* capped near the receiver's request ("we restrict
+//!   the recoding domain to an appropriate small size", §6.1).
 //! * **Recode/MW** — recoded symbols over the entire working set with
 //!   degrees scaled by 1/(1−c), c estimated from exchanged min-wise
 //!   sketches.
 
 use bytes::Bytes;
-use icd_bloom::BloomFilter;
 use icd_fountain::{EncodedSymbol, RecodePolicy, Recoder};
 use icd_sketch::{MinwiseSketch, PermutationFamily};
+use icd_summary::{DiffEstimate, SummaryId, SummaryRegistry, SummarySizing};
 use icd_util::rng::{Rng64, Xoshiro256StarStar};
 
 use crate::SymbolId;
@@ -52,47 +58,61 @@ impl Packet {
     }
 }
 
-/// Which of the §6.2 strategies a sender runs.
+/// Which sender strategy a connection runs. The informed strategies name
+/// their summary mechanism by registry id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StrategyKind {
     /// Uninformed uniform selection (Swarmcast baseline).
     Random,
-    /// Random selection filtered by the receiver's Bloom filter.
-    RandomBloom,
+    /// Random selection filtered through the receiver's digest
+    /// (the paper's Random/BF when the id is [`SummaryId::BLOOM`]).
+    RandomSummary(SummaryId),
     /// Oblivious recoding over the whole working set.
     Recode,
-    /// Recoding restricted to symbols outside the receiver's filter.
-    RecodeBloom,
+    /// Recoding restricted to digest-cleared candidates (the paper's
+    /// Recode/BF when the id is [`SummaryId::BLOOM`]).
+    RecodeSummary(SummaryId),
     /// Recoding with min-wise-estimated degree scaling.
     RecodeMinwise,
 }
 
 impl StrategyKind {
-    /// All five strategies in the paper's presentation order.
+    /// The paper's five strategies in presentation order (the informed
+    /// ones Bloom-backed, as in §6.2).
     pub const ALL: [StrategyKind; 5] = [
         StrategyKind::Random,
-        StrategyKind::RandomBloom,
+        StrategyKind::RandomSummary(SummaryId::BLOOM),
         StrategyKind::Recode,
-        StrategyKind::RecodeBloom,
+        StrategyKind::RecodeSummary(SummaryId::BLOOM),
         StrategyKind::RecodeMinwise,
     ];
 
-    /// The label used in the paper's figure legends.
+    /// The label used in the paper's figure legends (mechanism-suffixed
+    /// for non-Bloom digests, e.g. `Random/CPI`).
     #[must_use]
     pub fn label(&self) -> &'static str {
         match self {
             StrategyKind::Random => "Random",
-            StrategyKind::RandomBloom => "Random/BF",
+            StrategyKind::RandomSummary(id) => random_label(*id),
             StrategyKind::Recode => "Recode",
-            StrategyKind::RecodeBloom => "Recode/BF",
+            StrategyKind::RecodeSummary(id) => recode_label(*id),
             StrategyKind::RecodeMinwise => "Recode/MW",
         }
     }
 
-    /// Whether the strategy needs the receiver's Bloom filter.
+    /// The summary mechanism this strategy ships, if any.
     #[must_use]
-    pub fn needs_filter(&self) -> bool {
-        matches!(self, StrategyKind::RandomBloom | StrategyKind::RecodeBloom)
+    pub fn summary_id(&self) -> Option<SummaryId> {
+        match self {
+            StrategyKind::RandomSummary(id) | StrategyKind::RecodeSummary(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Whether the strategy needs a receiver digest in the handshake.
+    #[must_use]
+    pub fn needs_summary(&self) -> bool {
+        self.summary_id().is_some()
     }
 
     /// Whether the strategy needs min-wise sketches.
@@ -102,42 +122,79 @@ impl StrategyKind {
     }
 }
 
+/// Figure-legend suffix per mechanism; the `(prefix, id)` pairs below
+/// keep the labels `&'static str` without a second id→name table.
+const SUMMARY_SUFFIXES: [(SummaryId, &str, &str); 5] = [
+    (SummaryId::BLOOM, "Random/BF", "Recode/BF"),
+    (SummaryId::ART, "Random/ART", "Recode/ART"),
+    (SummaryId::WHOLE_SET, "Random/WS", "Recode/WS"),
+    (SummaryId::HASH_SET, "Random/HS", "Recode/HS"),
+    (SummaryId::CHAR_POLY, "Random/CPI", "Recode/CPI"),
+];
+
+fn random_label(id: SummaryId) -> &'static str {
+    SUMMARY_SUFFIXES
+        .iter()
+        .find(|(known, _, _)| *known == id)
+        .map_or("Random/?", |(_, random, _)| random)
+}
+
+fn recode_label(id: SummaryId) -> &'static str {
+    SUMMARY_SUFFIXES
+        .iter()
+        .find(|(known, _, _)| *known == id)
+        .map_or("Recode/?", |(_, _, recode)| recode)
+}
+
 /// What the receiver hands a sender at connection setup (the one-shot
-/// control exchange of §6.1; never updated during the transfer).
+/// control exchange of §6.1; never updated during the transfer). The
+/// digest travels *encoded*, exactly as it would on the wire: the sender
+/// decodes it through its registry, so the simulator exercises the same
+/// frame path as the session machines.
 #[derive(Debug, Clone, Default)]
 pub struct ReceiverHandshake {
-    /// Bloom filter over the receiver's working set (BF strategies).
-    pub filter: Option<BloomFilter>,
+    /// Encoded summary frame `(mechanism id, body bytes)`.
+    pub summary: Option<(SummaryId, Vec<u8>)>,
     /// Min-wise sketch of the receiver's working set (MW strategy).
     pub sketch: Option<MinwiseSketch>,
 }
 
 impl ReceiverHandshake {
     /// Builds the handshake a receiver with `working_set` would send,
-    /// providing whatever `strategy` requires. `bits_per_element` sizes
-    /// the filter (the paper's §5.2 reference point is 8).
+    /// providing whatever `strategy` requires. `sizing` and `estimate`
+    /// parameterize the digest exactly as in the session layer;
+    /// `registry` must hold the strategy's mechanism.
+    ///
+    /// Panics if the strategy names a mechanism absent from `registry` —
+    /// a configuration error, not a runtime condition.
     #[must_use]
     pub fn for_strategy(
         strategy: StrategyKind,
         working_set: &[SymbolId],
-        bits_per_element: f64,
+        sizing: &SummarySizing,
         family: &PermutationFamily,
+        registry: &SummaryRegistry,
+        estimate: &DiffEstimate,
     ) -> Self {
-        let filter = strategy.needs_filter().then(|| {
-            let mut f = BloomFilter::with_bits_per_element(
-                working_set.len().max(1),
-                bits_per_element,
-                0xF117E5,
-            );
-            for &id in working_set {
-                f.insert(id);
-            }
-            f
+        let summary = strategy.summary_id().map(|id| {
+            let mut keys = working_set.to_vec();
+            keys.sort_unstable();
+            let digest = registry
+                .build(id, sizing, estimate, &keys)
+                .expect("strategy mechanism must be registered");
+            (id, digest.encode_body())
         });
         let sketch = strategy
             .needs_sketch()
             .then(|| MinwiseSketch::from_keys(family, working_set.iter().copied()));
-        Self { filter, sketch }
+        Self { summary, sketch }
+    }
+
+    /// Encoded digest size in bytes (0 without one) — the handshake cost
+    /// ablations account against transfer savings.
+    #[must_use]
+    pub fn summary_bytes(&self) -> usize {
+        self.summary.as_ref().map_or(0, |(_, body)| body.len())
     }
 }
 
@@ -146,8 +203,8 @@ impl ReceiverHandshake {
 pub struct Sender {
     kind: StrategyKind,
     working: Vec<SymbolId>,
-    /// Random-order candidate queue (BF strategies); `next_candidate`
-    /// indexes into it.
+    /// Random-order candidate queue (summary strategies);
+    /// `next_candidate` indexes into it.
     candidates: Vec<SymbolId>,
     next_candidate: usize,
     recoder: Option<Recoder>,
@@ -158,9 +215,10 @@ pub struct Sender {
 impl Sender {
     /// Creates a sender running `kind` over `working` symbols, given the
     /// receiver's handshake. `family` is the protocol-wide permutation
-    /// family (for the sender's own sketch under Recode/MW).
-    /// `request_hint` is the number of symbols the receiver asked this
-    /// sender for (§6.1); Recode/BF uses it to size its recoding domain.
+    /// family (for the sender's own sketch under Recode/MW); `registry`
+    /// decodes the handshake digest. `request_hint` is the number of
+    /// symbols the receiver asked this sender for (§6.1); recode-summary
+    /// strategies use it to size their recoding domain.
     ///
     /// Panics if the working set is empty or if the handshake lacks what
     /// the strategy requires — both are protocol violations, not runtime
@@ -171,6 +229,7 @@ impl Sender {
         working: Vec<SymbolId>,
         handshake: &ReceiverHandshake,
         family: &PermutationFamily,
+        registry: &SummaryRegistry,
         seed: u64,
         request_hint: usize,
     ) -> Self {
@@ -181,9 +240,8 @@ impl Sender {
         let mut recoder = None;
         match kind {
             StrategyKind::Random => {}
-            StrategyKind::RandomBloom => {
-                let filter = handshake.filter.as_ref().expect("Random/BF needs a filter");
-                candidates = working.iter().copied().filter(|&id| !filter.contains(id)).collect();
+            StrategyKind::RandomSummary(_) => {
+                candidates = cleared_candidates(kind, &working, handshake, registry);
                 rng.shuffle(&mut candidates);
                 next_candidate = 0;
             }
@@ -194,9 +252,8 @@ impl Sender {
                     RecodePolicy::Oblivious,
                 ));
             }
-            StrategyKind::RecodeBloom => {
-                let filter = handshake.filter.as_ref().expect("Recode/BF needs a filter");
-                candidates = working.iter().copied().filter(|&id| !filter.contains(id)).collect();
+            StrategyKind::RecodeSummary(_) => {
+                candidates = cleared_candidates(kind, &working, handshake, registry);
                 if !candidates.is_empty() {
                     // Restrict the recoding domain to what the receiver
                     // asked for (plus recode-layer decoding headroom);
@@ -257,23 +314,24 @@ impl Sender {
         self.working.len()
     }
 
-    /// Number of symbols the receiver's filter cleared for sending
-    /// (BF strategies only; 0 otherwise).
+    /// Number of symbols the receiver's digest cleared for sending
+    /// (summary strategies only; 0 otherwise).
     #[must_use]
     pub fn candidate_count(&self) -> usize {
         self.candidates.len()
     }
 
     /// Emits the next packet, or `None` if this sender can provably
-    /// contribute nothing more (a BF sender that exhausted its candidate
-    /// list — everything else it holds, the receiver told it it has).
+    /// contribute nothing more (a summary sender that exhausted its
+    /// candidate list — everything else it holds, the receiver told it
+    /// it has).
     pub fn next_packet(&mut self) -> Option<Packet> {
         let packet = match self.kind {
             StrategyKind::Random => {
                 let id = self.working[self.rng.index(self.working.len())];
                 Some(Packet::Encoded(id))
             }
-            StrategyKind::RandomBloom => {
+            StrategyKind::RandomSummary(_) => {
                 if self.next_candidate >= self.candidates.len() {
                     None
                 } else {
@@ -287,7 +345,7 @@ impl Sender {
                 let rec = recoder.generate(&mut self.rng);
                 Some(Packet::Recoded(rec.components))
             }
-            StrategyKind::RecodeBloom => self.recoder.as_ref().map(|recoder| {
+            StrategyKind::RecodeSummary(_) => self.recoder.as_ref().map(|recoder| {
                 let rec = recoder.generate(&mut self.rng);
                 Packet::Recoded(rec.components)
             }),
@@ -297,6 +355,27 @@ impl Sender {
         }
         packet
     }
+}
+
+/// Decodes the handshake digest and returns the sorted candidate ids the
+/// digest clears — one registry dispatch for every mechanism.
+fn cleared_candidates(
+    kind: StrategyKind,
+    working: &[SymbolId],
+    handshake: &ReceiverHandshake,
+    registry: &SummaryRegistry,
+) -> Vec<SymbolId> {
+    let (id, body) = handshake
+        .summary
+        .as_ref()
+        .expect("summary strategy needs a digest in the handshake");
+    assert_eq!(Some(*id), kind.summary_id(), "handshake digest mismatch");
+    let reconciler = registry
+        .decode(*id, body)
+        .expect("handshake digest must decode");
+    let mut keys = working.to_vec();
+    keys.sort_unstable();
+    reconciler.missing_at_peer(&keys)
 }
 
 /// A *full* sender: holds the whole file and streams fresh encoded
@@ -350,6 +429,8 @@ fn to_symbols(ids: &[SymbolId]) -> Vec<EncodedSymbol> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icd_bloom::BloomDigest;
+    use icd_recon::shared_registry;
     use std::collections::HashSet;
 
     fn ids(n: usize, seed: u64) -> Vec<SymbolId> {
@@ -362,12 +443,36 @@ mod tests {
         PermutationFamily::standard(42)
     }
 
+    fn handshake_for(
+        strategy: StrategyKind,
+        working: &[SymbolId],
+        peer_len: usize,
+        hint: usize,
+    ) -> ReceiverHandshake {
+        ReceiverHandshake::for_strategy(
+            strategy,
+            working,
+            &SummarySizing::default(),
+            &family(),
+            shared_registry(),
+            &DiffEstimate::new(working.len(), peer_len, hint),
+        )
+    }
+
     #[test]
     fn random_sender_draws_from_working_set() {
         let working = ids(100, 1);
         let set: HashSet<_> = working.iter().copied().collect();
         let hs = ReceiverHandshake::default();
-        let mut s = Sender::new(StrategyKind::Random, working, &hs, &family(), 7, 100);
+        let mut s = Sender::new(
+            StrategyKind::Random,
+            working,
+            &hs,
+            &family(),
+            shared_registry(),
+            7,
+            100,
+        );
         for _ in 0..500 {
             match s.next_packet() {
                 Some(Packet::Encoded(id)) => assert!(set.contains(&id)),
@@ -385,17 +490,22 @@ mod tests {
             .copied()
             .chain(ids(250, 3))
             .collect();
-        let hs = ReceiverHandshake::for_strategy(
-            StrategyKind::RandomBloom,
-            &receiver_set,
-            8.0,
+        let strategy = StrategyKind::RandomSummary(SummaryId::BLOOM);
+        let hs = handshake_for(strategy, &receiver_set, sender_set.len(), 250);
+        let (_, body) = hs.summary.clone().expect("digest built");
+        let filter = BloomDigest::decode(&body).expect("bloom body");
+        let mut s = Sender::new(
+            strategy,
+            sender_set,
+            &hs,
             &family(),
+            shared_registry(),
+            8,
+            250,
         );
-        let filter = hs.filter.clone().expect("filter built");
-        let mut s = Sender::new(StrategyKind::RandomBloom, sender_set, &hs, &family(), 8, 250);
         let mut sent = HashSet::new();
         while let Some(Packet::Encoded(id)) = s.next_packet() {
-            assert!(!filter.contains(id), "sent a filtered symbol");
+            assert!(!filter.filter().contains(id), "sent a filtered symbol");
             assert!(sent.insert(id), "resent {id}");
         }
         // ≈ 250 useful (minus FP withholding) then exhaustion.
@@ -404,11 +514,57 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_mechanism_drives_an_informed_sender() {
+        let receiver_set = ids(200, 21);
+        let fresh = ids(60, 22);
+        let sender_set: Vec<SymbolId> = receiver_set[..100]
+            .iter()
+            .copied()
+            .chain(fresh.iter().copied())
+            .collect();
+        let receiver: HashSet<_> = receiver_set.iter().copied().collect();
+        for id in shared_registry().ids() {
+            let strategy = StrategyKind::RandomSummary(id);
+            let hs = handshake_for(strategy, &receiver_set, sender_set.len(), fresh.len());
+            let mut s = Sender::new(
+                strategy,
+                sender_set.clone(),
+                &hs,
+                &family(),
+                shared_registry(),
+                23,
+                fresh.len(),
+            );
+            let mut sent = HashSet::new();
+            while let Some(Packet::Encoded(sym)) = s.next_packet() {
+                assert!(!receiver.contains(&sym), "{id}: sent a held symbol");
+                sent.insert(sym);
+            }
+            // Every mechanism must clear a usable share of the truly
+            // fresh symbols (exact ones all of them).
+            assert!(
+                sent.len() * 2 >= fresh.len(),
+                "{id}: cleared only {} of {}",
+                sent.len(),
+                fresh.len()
+            );
+        }
+    }
+
+    #[test]
     fn recode_components_come_from_working_set() {
         let working = ids(200, 4);
         let set: HashSet<_> = working.iter().copied().collect();
         let hs = ReceiverHandshake::default();
-        let mut s = Sender::new(StrategyKind::Recode, working, &hs, &family(), 9, 100);
+        let mut s = Sender::new(
+            StrategyKind::Recode,
+            working,
+            &hs,
+            &family(),
+            shared_registry(),
+            9,
+            100,
+        );
         for _ in 0..100 {
             match s.next_packet() {
                 Some(Packet::Recoded(components)) => {
@@ -428,14 +584,18 @@ mod tests {
             .copied()
             .chain(ids(200, 6))
             .collect();
-        let hs = ReceiverHandshake::for_strategy(
-            StrategyKind::RecodeBloom,
-            &receiver_set,
-            8.0,
-            &family(),
-        );
+        let strategy = StrategyKind::RecodeSummary(SummaryId::BLOOM);
+        let hs = handshake_for(strategy, &receiver_set, sender_set.len(), 200);
         let receiver: HashSet<_> = receiver_set.iter().copied().collect();
-        let mut s = Sender::new(StrategyKind::RecodeBloom, sender_set, &hs, &family(), 10, 200);
+        let mut s = Sender::new(
+            strategy,
+            sender_set,
+            &hs,
+            &family(),
+            shared_registry(),
+            10,
+            200,
+        );
         for _ in 0..100 {
             let Some(Packet::Recoded(components)) = s.next_packet() else {
                 panic!("expected recoded packet");
@@ -452,19 +612,27 @@ mod tests {
         let sender_set: Vec<SymbolId> = shared.iter().copied().chain(ids(200, 8)).collect();
         // Receiver holds 80 % of the sender's set.
         let receiver_set = shared;
-        let fam = family();
-        let hs =
-            ReceiverHandshake::for_strategy(StrategyKind::RecodeMinwise, &receiver_set, 8.0, &fam);
-        let mut correlated =
-            Sender::new(StrategyKind::RecodeMinwise, sender_set.clone(), &hs, &fam, 11, 200);
-        // Uncorrelated receiver for comparison.
-        let hs0 = ReceiverHandshake::for_strategy(
+        let hs = handshake_for(StrategyKind::RecodeMinwise, &receiver_set, sender_set.len(), 200);
+        let mut correlated = Sender::new(
             StrategyKind::RecodeMinwise,
-            &ids(800, 99),
-            8.0,
-            &fam,
+            sender_set.clone(),
+            &hs,
+            &family(),
+            shared_registry(),
+            11,
+            200,
         );
-        let mut uncorrelated = Sender::new(StrategyKind::RecodeMinwise, sender_set, &hs0, &fam, 12, 200);
+        // Uncorrelated receiver for comparison.
+        let hs0 = handshake_for(StrategyKind::RecodeMinwise, &ids(800, 99), sender_set.len(), 200);
+        let mut uncorrelated = Sender::new(
+            StrategyKind::RecodeMinwise,
+            sender_set,
+            &hs0,
+            &family(),
+            shared_registry(),
+            12,
+            200,
+        );
         let avg = |s: &mut Sender| {
             let mut total = 0usize;
             for _ in 0..200 {
@@ -502,10 +670,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs a filter")]
-    fn missing_filter_is_a_protocol_violation() {
+    #[should_panic(expected = "needs a digest")]
+    fn missing_summary_is_a_protocol_violation() {
         let hs = ReceiverHandshake::default();
-        let _ = Sender::new(StrategyKind::RandomBloom, ids(10, 14), &hs, &family(), 15, 10);
+        let _ = Sender::new(
+            StrategyKind::RandomSummary(SummaryId::BLOOM),
+            ids(10, 14),
+            &hs,
+            &family(),
+            shared_registry(),
+            15,
+            10,
+        );
     }
 
     #[test]
@@ -514,6 +690,14 @@ mod tests {
         assert_eq!(
             labels,
             vec!["Random", "Random/BF", "Recode", "Recode/BF", "Recode/MW"]
+        );
+        assert_eq!(
+            StrategyKind::RandomSummary(SummaryId::CHAR_POLY).label(),
+            "Random/CPI"
+        );
+        assert_eq!(
+            StrategyKind::RecodeSummary(SummaryId::WHOLE_SET).label(),
+            "Recode/WS"
         );
     }
 

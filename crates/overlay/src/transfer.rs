@@ -18,6 +18,7 @@
 //!   that baseline is `needed / ticks` without running the baseline.
 
 use icd_sketch::PermutationFamily;
+use icd_summary::{DiffEstimate, SummarySizing};
 use icd_util::rng::{Rng64, SplitMix64};
 
 use crate::receiver::Receiver;
@@ -26,9 +27,39 @@ use crate::scenario::{MultiSenderScenario, TwoPeerScenario};
 use crate::scenario::ScenarioParams;
 use crate::strategy::{FullSender, ReceiverHandshake, Sender, StrategyKind};
 
-/// Bloom-filter sizing used by the BF strategies in all experiments
+/// Bloom-filter sizing used by the summary strategies in all experiments
 /// (§5.2's 8-bits-per-element reference point).
 pub const FILTER_BITS_PER_ELEMENT: f64 = 8.0;
+
+/// The digest sizing every simulated transfer uses (the §5 reference
+/// points, [`FILTER_BITS_PER_ELEMENT`] for Bloom). The char-poly bound
+/// is capped low: §6.3's two-peer geometries put roughly half the
+/// system in the difference, which is exactly the regime §5.1 calls
+/// prohibitive for the polynomial method — a capped sketch fails fast
+/// (and the sweep reports the stall) instead of stalling the simulator
+/// in a Θ(m̄³) solve.
+#[must_use]
+pub fn standard_sizing() -> SummarySizing {
+    SummarySizing {
+        bloom_bits_per_element: FILTER_BITS_PER_ELEMENT,
+        poly_max_bound: 512,
+        ..SummarySizing::default()
+    }
+}
+
+/// The receiver-side estimate a simulated handshake parameterizes its
+/// digest with: its own inventory, the peer's inventory size, and the
+/// expectation that the peer supplies everything still needed. The
+/// symmetric difference (what exact mechanisms must bound) follows from
+/// inclusion–exclusion inside [`DiffEstimate::new`].
+#[must_use]
+pub fn handshake_estimate(
+    receiver_set_len: usize,
+    peer_set_len: usize,
+    needed: usize,
+) -> DiffEstimate {
+    DiffEstimate::new(receiver_set_len, peer_set_len, needed)
+}
 
 /// Result of one simulated transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,8 +165,14 @@ pub fn run_transfer(
     let handshake = ReceiverHandshake::for_strategy(
         strategy,
         &scenario.receiver_set,
-        FILTER_BITS_PER_ELEMENT,
+        &standard_sizing(),
         &family,
+        icd_recon::shared_registry(),
+        &handshake_estimate(
+            scenario.receiver_set.len(),
+            scenario.sender_set.len(),
+            scenario.needed(),
+        ),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
     let mut senders = vec![Sender::new(
@@ -143,6 +180,7 @@ pub fn run_transfer(
         scenario.sender_set.clone(),
         &handshake,
         &family,
+        icd_recon::shared_registry(),
         seeds.next_u64(),
         scenario.needed(),
     )];
@@ -166,8 +204,14 @@ pub fn run_with_full_sender(
     let handshake = ReceiverHandshake::for_strategy(
         strategy,
         &scenario.receiver_set,
-        FILTER_BITS_PER_ELEMENT,
+        &standard_sizing(),
         &family,
+        icd_recon::shared_registry(),
+        &handshake_estimate(
+            scenario.receiver_set.len(),
+            scenario.sender_set.len(),
+            scenario.needed(),
+        ),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
     // Two equal-rate senders: the receiver asks each for half its need.
@@ -176,6 +220,7 @@ pub fn run_with_full_sender(
         scenario.sender_set.clone(),
         &handshake,
         &family,
+        icd_recon::shared_registry(),
         seeds.next_u64(),
         scenario.needed().div_ceil(2),
     )];
@@ -200,8 +245,14 @@ pub fn run_multi_partial(
     let handshake = ReceiverHandshake::for_strategy(
         strategy,
         &scenario.receiver_set,
-        FILTER_BITS_PER_ELEMENT,
+        &standard_sizing(),
         &family,
+        icd_recon::shared_registry(),
+        &handshake_estimate(
+            scenario.receiver_set.len(),
+            scenario.sender_sets[0].len(),
+            scenario.needed(),
+        ),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
     // The receiver splits its demand evenly across the k senders (§6.1).
@@ -215,6 +266,7 @@ pub fn run_multi_partial(
                 set.clone(),
                 &handshake,
                 &family,
+                icd_recon::shared_registry(),
                 seeds.next_u64(),
                 per_sender,
             )
@@ -245,6 +297,7 @@ pub fn random_strategy_analytic_overhead(b: usize, useful: usize, needed: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icd_summary::SummaryId;
 
     fn compact(n: usize) -> ScenarioParams {
         ScenarioParams::compact(n, 0xFEED)
@@ -292,8 +345,8 @@ mod tests {
         let params = compact(3000);
         let scenario = TwoPeerScenario::build(&params, 0.4);
         let random = run_transfer(&scenario, StrategyKind::Random, 7).overhead();
-        let bf = run_transfer(&scenario, StrategyKind::RandomBloom, 7);
-        let rbf = run_transfer(&scenario, StrategyKind::RecodeBloom, 7);
+        let bf = run_transfer(&scenario, StrategyKind::RandomSummary(SummaryId::BLOOM), 7);
+        let rbf = run_transfer(&scenario, StrategyKind::RecodeSummary(SummaryId::BLOOM), 7);
         assert!(bf.completed && rbf.completed);
         assert!(bf.overhead() < random / 2.0, "Random/BF {} vs Random {random}", bf.overhead());
         assert!(rbf.overhead() < random / 2.0, "Recode/BF {} vs Random {random}", rbf.overhead());
@@ -302,7 +355,7 @@ mod tests {
     #[test]
     fn random_bloom_overhead_is_near_one() {
         let scenario = TwoPeerScenario::build(&compact(3000), 0.3);
-        let out = run_transfer(&scenario, StrategyKind::RandomBloom, 3);
+        let out = run_transfer(&scenario, StrategyKind::RandomSummary(SummaryId::BLOOM), 3);
         assert!(out.completed);
         // Every sent packet is useful (no false negatives), so overhead
         // ≈ 1 exactly; slack only from the final partial tick.
@@ -323,7 +376,7 @@ mod tests {
     #[test]
     fn full_plus_informed_partial_approaches_speedup_two() {
         let scenario = TwoPeerScenario::build(&compact(3000), 0.2);
-        let out = run_with_full_sender(&scenario, StrategyKind::RandomBloom, 5);
+        let out = run_with_full_sender(&scenario, StrategyKind::RandomSummary(SummaryId::BLOOM), 5);
         assert!(out.completed);
         assert!(
             out.speedup() > 1.7,
@@ -338,8 +391,8 @@ mod tests {
         let params = compact(3000);
         let two = MultiSenderScenario::build(&params, 2, 0.1);
         let four = MultiSenderScenario::build(&params, 4, 0.1);
-        let r2 = run_multi_partial(&two, StrategyKind::RandomBloom, 9);
-        let r4 = run_multi_partial(&four, StrategyKind::RandomBloom, 9);
+        let r2 = run_multi_partial(&two, StrategyKind::RandomSummary(SummaryId::BLOOM), 9);
+        let r4 = run_multi_partial(&four, StrategyKind::RandomSummary(SummaryId::BLOOM), 9);
         assert!(r2.completed && r4.completed);
         assert!(r2.speedup() > 1.6, "k=2 rate {}", r2.speedup());
         assert!(r4.speedup() > 2.8, "k=4 rate {}", r4.speedup());
@@ -359,7 +412,7 @@ mod tests {
         // Make it unfinishable: strip 10 % of the sender's set.
         let mut crippled = scenario.clone();
         crippled.sender_set.truncate(scenario.sender_set.len() * 9 / 10);
-        let out = run_transfer(&crippled, StrategyKind::RandomBloom, 4);
+        let out = run_transfer(&crippled, StrategyKind::RandomSummary(SummaryId::BLOOM), 4);
         assert!(!out.completed);
         assert!(out.gained < out.needed);
     }

@@ -69,6 +69,14 @@ impl HashSetMessage {
         (self.hashes.len() * self.bits as usize).div_ceil(8)
     }
 
+    /// Whether `key`'s truncated hash is present — "probably held" in
+    /// the Bloom sense: a collision answers positively (the safe
+    /// direction), a miss proves absence. O(1), no allocation.
+    #[must_use]
+    pub fn contains_hash_of(&self, key: u64) -> bool {
+        self.hashes.contains(&Self::hash(key, self.bits))
+    }
+
     /// Computes (a superset-free approximation of) S_B ∖ S_A: every key
     /// whose hash is absent is *definitely* missing at A; keys whose hash
     /// collides are (wrongly, with probability ≈ |S_A|/2^bits) withheld.
@@ -77,7 +85,7 @@ impl HashSetMessage {
         let mut out: Vec<u64> = b_keys
             .iter()
             .copied()
-            .filter(|&k| !self.hashes.contains(&Self::hash(k, self.bits)))
+            .filter(|&k| !self.contains_hash_of(k))
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -90,6 +98,31 @@ impl HashSetMessage {
     #[must_use]
     pub fn analytic_miss_rate(&self) -> f64 {
         (self.hashes.len() as f64 / (self.bits as f64).exp2()).min(1.0)
+    }
+
+    /// The distinct hashes, sorted (wire encoding).
+    #[must_use]
+    pub fn hashes_sorted(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.hashes.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reassembles a message from already-truncated hashes (wire
+    /// decoding). Returns `None` for an out-of-range width or a hash
+    /// exceeding it.
+    #[must_use]
+    pub fn from_parts(hashes: Vec<u64>, bits: u32) -> Option<Self> {
+        if !(1..=64).contains(&bits) {
+            return None;
+        }
+        if bits < 64 && hashes.iter().any(|&h| h >> bits != 0) {
+            return None;
+        }
+        Some(Self {
+            hashes: hashes.into_iter().collect(),
+            bits,
+        })
     }
 }
 

@@ -18,15 +18,24 @@
 //! * [`cost`] — a harness that runs every method (exact and approximate)
 //!   on one scenario and reports bits sent, time spent, and accuracy —
 //!   the `recon_cost_table` experiment.
+//! * [`digest`] — the exact mechanisms' plugs into the workspace-wide
+//!   `icd-summary` trait API, so whole-set, hash-set, and char-poly run
+//!   end-to-end through the session state machines, not just offline.
+//! * [`registry`] — the assembled standard [`icd_summary::SummaryRegistry`]
+//!   holding all five mechanisms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod digest;
 pub mod hashset;
 pub mod poly;
 pub mod polyfield;
+pub mod registry;
 pub mod wholeset;
 
 pub use cost::{CostReport, CostRow};
+pub use digest::{CharPolyDigest, HashSetDigest, WholeSetDigest};
 pub use poly::{CharPolySketch, PolyError};
+pub use registry::{shared_registry, standard_registry};

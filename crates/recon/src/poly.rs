@@ -117,6 +117,27 @@ impl CharPolySketch {
     pub fn wire_size(&self) -> usize {
         self.evals.len() * 8
     }
+
+    /// The raw evaluations (wire encoding).
+    #[must_use]
+    pub fn evals(&self) -> &[u64] {
+        &self.evals
+    }
+
+    /// Reassembles a sketch from its parts (wire decoding). Returns
+    /// `None` when the evaluation count does not match the bound plus
+    /// the protocol's verification points.
+    #[must_use]
+    pub fn from_parts(evals: Vec<u64>, bound: usize, set_size: u64) -> Option<Self> {
+        if bound == 0 || evals.len() != bound + VERIFY_POINTS {
+            return None;
+        }
+        Some(Self {
+            evals,
+            bound,
+            set_size,
+        })
+    }
 }
 
 /// The exact difference recovered by the polynomial method, as *field

@@ -1,0 +1,70 @@
+//! The standard summary registry: every mechanism the workspace ships.
+//!
+//! `icd-recon` is the lowest crate that can see all five mechanisms
+//! (it already depends on `icd-bloom` and `icd-art` for the cost
+//! harness), so the assembled registry lives here; `icd-core::summary`
+//! re-exports it as the protocol default. Deployments that want a
+//! different mechanism set build their own [`SummaryRegistry`] from the
+//! individual `spec()` functions.
+
+use std::sync::OnceLock;
+
+use icd_summary::SummaryRegistry;
+
+use crate::digest::{char_poly_spec, hash_set_spec, whole_set_spec};
+
+/// Builds a registry holding all five standard mechanisms: whole-set,
+/// hash-set, char-poly, bloom, and art.
+#[must_use]
+pub fn standard_registry() -> SummaryRegistry {
+    let mut reg = SummaryRegistry::new();
+    for spec in [
+        whole_set_spec(),
+        hash_set_spec(),
+        char_poly_spec(),
+        icd_bloom::digest::spec(),
+        icd_art::digest::spec(),
+    ] {
+        reg.register(spec).expect("standard ids are distinct");
+    }
+    reg
+}
+
+/// A process-wide shared instance of [`standard_registry`].
+#[must_use]
+pub fn shared_registry() -> &'static SummaryRegistry {
+    static SHARED: OnceLock<SummaryRegistry> = OnceLock::new();
+    SHARED.get_or_init(standard_registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_summary::SummaryId;
+
+    #[test]
+    fn standard_registry_holds_all_five() {
+        let reg = standard_registry();
+        assert_eq!(
+            reg.ids(),
+            vec![
+                SummaryId::WHOLE_SET,
+                SummaryId::HASH_SET,
+                SummaryId::CHAR_POLY,
+                SummaryId::BLOOM,
+                SummaryId::ART,
+            ]
+        );
+        for spec in reg.iter() {
+            assert_eq!(spec.label, spec.id.label(), "labels agree with ids");
+        }
+    }
+
+    #[test]
+    fn shared_registry_is_stable() {
+        let a = shared_registry();
+        let b = shared_registry();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -9,9 +9,10 @@
 //! function here returning the actual encoded size of the corresponding
 //! message, and a test pinning it to the paper's figure.
 
-use icd_art::{ArtSummary, ReconciliationTree, SummaryParams};
-use icd_bloom::BloomFilter;
+use icd_art::{ArtDigest, SummaryParams};
+use icd_bloom::{BloomDigest, BloomFilter};
 use icd_sketch::{MinwiseSketch, PermutationFamily};
+use icd_summary::{SetSummary, SummaryId};
 
 use crate::message::Message;
 
@@ -33,19 +34,28 @@ pub fn minwise_message_size(keys: &[u64]) -> usize {
     Message::Minwise(sketch).encoded_size()
 }
 
-/// Encoded size of a Bloom summary at `bits_per_element` for `keys`.
+/// Encoded size of a Bloom summary frame at `bits_per_element` for
+/// `keys`.
 #[must_use]
 pub fn bloom_message_size(keys: &[u64], bits_per_element: f64) -> usize {
     let filter = BloomFilter::from_keys(keys.iter().copied(), bits_per_element, 0);
-    Message::Bloom(filter).encoded_size()
+    summary_frame(SummaryId::BLOOM, &BloomDigest::from_filter(filter)).encoded_size()
 }
 
-/// Encoded size of a standard ART summary for `keys`.
+/// Encoded size of a standard (8 bits/element) ART summary frame for
+/// `keys`.
 #[must_use]
 pub fn art_message_size(keys: &[u64]) -> usize {
-    let tree = ReconciliationTree::from_keys(icd_art::ArtParams::default(), keys.iter().copied());
-    let summary = ArtSummary::build(&tree, SummaryParams::standard());
-    Message::Art(summary).encoded_size()
+    let digest = ArtDigest::build(keys, SummaryParams::standard());
+    summary_frame(SummaryId::ART, &digest).encoded_size()
+}
+
+/// Wraps any digest in the generic summary frame.
+fn summary_frame(id: SummaryId, digest: &dyn SetSummary) -> Message {
+    Message::Summary {
+        summary_id: id.0,
+        body: digest.encode_body(),
+    }
 }
 
 #[cfg(test)]

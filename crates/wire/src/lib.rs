@@ -10,8 +10,10 @@
 //! sentences into compile-and-run assertions.
 //!
 //! * [`message`] — the control messages: working-set sketches (min-wise,
-//!   random-sample, mod-k), fine-grained summaries (Bloom, ART), symbol
-//!   requests, and the data-plane symbol frames (encoded and recoded).
+//!   random-sample, mod-k), the generic tagged summary frame (any
+//!   mechanism registered in the peers' `SummaryRegistry`, addressed by
+//!   its stable `SummaryId`), symbol requests, and the data-plane symbol
+//!   frames (encoded and recoded).
 //! * [`framing`] — length-prefixed frames over any `Read`/`Write` pair
 //!   (used by the `tcp_reconcile` example; blocking `std::net` is all the
 //!   workload needs — the transfers are CPU-bound, not connection-bound).
@@ -30,4 +32,4 @@ pub mod framing;
 pub mod message;
 
 pub use framing::{read_frame, write_frame, FrameLimit};
-pub use message::{Message, WireError};
+pub use message::{Message, WireError, SYMBOL_ID_BITS};

@@ -4,10 +4,20 @@
 //! total: every byte sequence either decodes to a message or returns a
 //! `WireError` — malformed and truncated inputs are exercised by tests
 //! and a dedicated proptest in the integration suite.
+//!
+//! Fine-grained summaries travel in one *generic tagged frame*
+//! ([`Message::Summary`]): a stable mechanism id (`icd-summary`'s
+//! `SummaryId`), the declared element width, and an opaque body the
+//! mechanism's own codec owns. The wire layer never interprets the body
+//! — adding a summary mechanism touches the registry, not this file.
 
-use icd_art::ArtSummary;
-use icd_bloom::BloomFilter;
 use icd_sketch::{MinwiseSketch, ModKSample, RandomSample};
+
+/// The negotiated symbol-id width: every summary in this protocol
+/// revision digests 64-bit symbol ids. A frame declaring any other width
+/// was built for a different universe; decoding its body against 64-bit
+/// ids would silently truncate, so the decoder rejects it outright.
+pub const SYMBOL_ID_BITS: u8 = 64;
 
 /// Errors produced by decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,8 +31,16 @@ pub enum WireError {
         /// The length the message claimed.
         claimed: u64,
     },
-    /// Structurally valid but semantically impossible (e.g. a Bloom
-    /// filter with zero hash functions).
+    /// A summary frame declared an element width other than the
+    /// negotiated [`SYMBOL_ID_BITS`].
+    ElementWidthMismatch {
+        /// The width the frame declared.
+        declared: u8,
+        /// The width this protocol revision negotiates.
+        expected: u8,
+    },
+    /// Structurally valid but semantically impossible (e.g. a sketch
+    /// with no minima).
     Invalid(&'static str),
 }
 
@@ -32,6 +50,10 @@ impl std::fmt::Display for WireError {
             Self::Truncated => write!(f, "message truncated"),
             Self::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
             Self::Oversized { claimed } => write!(f, "length field {claimed} exceeds limit"),
+            Self::ElementWidthMismatch { declared, expected } => write!(
+                f,
+                "summary frame declares {declared}-bit elements, negotiated width is {expected}"
+            ),
             Self::Invalid(why) => write!(f, "invalid message: {why}"),
         }
     }
@@ -42,13 +64,13 @@ impl std::error::Error for WireError {}
 /// Decoder sanity limit on any single vector length (elements).
 const MAX_VEC: u64 = 16 * 1024 * 1024;
 
-/// Message tags (stable protocol constants).
+/// Message tags (stable protocol constants). Tags 0x04/0x05 belonged to
+/// the retired mechanism-specific Bloom/ART messages and stay reserved.
 mod tag {
     pub const MINWISE: u8 = 0x01;
     pub const RANDOM_SAMPLE: u8 = 0x02;
     pub const MODK: u8 = 0x03;
-    pub const BLOOM: u8 = 0x04;
-    pub const ART: u8 = 0x05;
+    pub const SUMMARY: u8 = 0x07;
     pub const SYMBOL_REQUEST: u8 = 0x06;
     pub const ENCODED_SYMBOL: u8 = 0x10;
     pub const RECODED_SYMBOL: u8 = 0x11;
@@ -64,10 +86,16 @@ pub enum Message {
     RandomSample(RandomSample),
     /// Mod-k sample of hashed working-set keys.
     ModK(ModKSample),
-    /// Bloom-filter summary of a working set.
-    Bloom(BloomFilter),
-    /// Approximate-reconciliation-tree summary.
-    Art(ArtSummary),
+    /// A fine-grained summary in the generic tagged frame: any mechanism
+    /// registered under `summary_id` in the peers' `SummaryRegistry`.
+    Summary {
+        /// The mechanism's stable `SummaryId` value.
+        summary_id: u16,
+        /// The mechanism-owned body (decoded via the registry, never
+        /// here). The declared element width rides in the frame and must
+        /// equal [`SYMBOL_ID_BITS`].
+        body: Vec<u8>,
+    },
     /// "Send me `count` symbols" — the receiver-driven request of §6.1
     /// ("the receiver may specify the number of symbols desired from
     /// each sender with appropriate allowances for decoding overhead").
@@ -117,9 +145,6 @@ impl Writer {
     fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
     fn bytes(&mut self, v: &[u8]) {
         self.u32(u32::try_from(v.len()).expect("vector too long to encode"));
         self.buf.extend_from_slice(v);
@@ -163,9 +188,6 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
-    fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
     fn checked_len(&mut self) -> Result<usize, WireError> {
         let n = u64::from(self.u32()?);
         if n > MAX_VEC {
@@ -194,30 +216,6 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn encode_bloom_body(w: &mut Writer, f: &BloomFilter) {
-    w.u64(f.num_bits() as u64);
-    w.u8(u8::try_from(f.num_hashes().min(255)).expect("k fits u8"));
-    w.u64(f.seed());
-    w.u64(f.items());
-    w.bytes(&f.to_bytes());
-}
-
-fn decode_bloom_body(r: &mut Reader<'_>) -> Result<BloomFilter, WireError> {
-    let m = r.u64()?;
-    if m == 0 || m > MAX_VEC * 8 {
-        return Err(WireError::Invalid("bloom filter bit count out of range"));
-    }
-    let k = u32::from(r.u8()?);
-    if k == 0 {
-        return Err(WireError::Invalid("bloom filter needs at least one hash"));
-    }
-    let seed = r.u64()?;
-    let items = r.u64()?;
-    let body = r.bytes()?;
-    BloomFilter::from_bytes(&body, m as usize, k, seed, items)
-        .ok_or(WireError::Invalid("bloom filter body too short"))
-}
-
 impl Message {
     /// Encodes the message to bytes (tag + body).
     #[must_use]
@@ -241,16 +239,11 @@ impl Message {
                 w.u64(s.set_size());
                 w.u64s(s.hashed_keys());
             }
-            Message::Bloom(f) => {
-                w.u8(tag::BLOOM);
-                encode_bloom_body(&mut w, f);
-            }
-            Message::Art(a) => {
-                w.u8(tag::ART);
-                w.u16(u16::try_from(a.correction().min(u32::from(u16::MAX))).expect("bounded"));
-                w.u64(a.elements() as u64);
-                encode_bloom_body(&mut w, a.leaf_filter());
-                encode_bloom_body(&mut w, a.internal_filter());
+            Message::Summary { summary_id, body } => {
+                w.u8(tag::SUMMARY);
+                w.u16(*summary_id);
+                w.u8(SYMBOL_ID_BITS);
+                w.bytes(body);
             }
             Message::SymbolRequest { count } => {
                 w.u8(tag::SYMBOL_REQUEST);
@@ -301,21 +294,17 @@ impl Message {
                 let hashed = r.u64s()?;
                 Message::ModK(ModKSample::from_parts(modulus, hashed, set_size))
             }
-            tag::BLOOM => Message::Bloom(decode_bloom_body(&mut r)?),
-            tag::ART => {
-                let correction = u32::from(r.u16()?);
-                let elements = r.u64()?;
-                if elements > MAX_VEC {
-                    return Err(WireError::Oversized { claimed: elements });
+            tag::SUMMARY => {
+                let summary_id = r.u16()?;
+                let declared = r.u8()?;
+                if declared != SYMBOL_ID_BITS {
+                    return Err(WireError::ElementWidthMismatch {
+                        declared,
+                        expected: SYMBOL_ID_BITS,
+                    });
                 }
-                let leaf = decode_bloom_body(&mut r)?;
-                let internal = decode_bloom_body(&mut r)?;
-                Message::Art(ArtSummary::from_parts(
-                    leaf,
-                    internal,
-                    correction,
-                    elements as usize,
-                ))
+                let body = r.bytes()?;
+                Message::Summary { summary_id, body }
             }
             tag::SYMBOL_REQUEST => Message::SymbolRequest { count: r.u64()? },
             tag::END => Message::End { sent: r.u64()? },
@@ -345,19 +334,9 @@ impl Message {
     }
 }
 
-// Unused-field silencer for Reader::f64 / Writer::f64: kept because the
-// ART summary split parameters travel in future protocol revisions.
-#[allow(dead_code)]
-fn _keep_float_codecs(w: &mut Writer, r: &mut Reader<'_>) -> Result<(), WireError> {
-    w.f64(0.0);
-    let _ = r.f64()?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icd_art::{ArtParams, ReconciliationTree, SummaryParams};
     use icd_sketch::PermutationFamily;
     use icd_util::rng::{Rng64, Xoshiro256StarStar};
 
@@ -399,29 +378,60 @@ mod tests {
     }
 
     #[test]
-    fn bloom_roundtrip_preserves_membership() {
-        let ks = keys(2000, 5);
-        let filter = BloomFilter::from_keys(ks.iter().copied(), 8.0, 99);
-        let msg = roundtrip(&Message::Bloom(filter));
-        let Message::Bloom(back) = msg else { unreachable!() };
-        for k in ks {
-            assert!(back.contains(k));
+    fn summary_frame_roundtrip_is_mechanism_agnostic() {
+        // The wire layer carries any registered (or future) id verbatim.
+        for summary_id in [1u16, 4, 5, 0x8001] {
+            let msg = Message::Summary {
+                summary_id,
+                body: keys(32, u64::from(summary_id))
+                    .iter()
+                    .flat_map(|k| k.to_le_bytes())
+                    .collect(),
+            };
+            roundtrip(&msg);
         }
+        roundtrip(&Message::Summary {
+            summary_id: 0,
+            body: Vec::new(),
+        });
     }
 
     #[test]
-    fn art_roundtrip_preserves_search() {
-        let params = ArtParams::default();
-        let a = ReconciliationTree::from_keys(params, keys(1000, 6));
-        let summary = icd_art::ArtSummary::build(&a, SummaryParams::standard());
-        let mut b_keys = keys(1000, 6);
-        b_keys.extend(keys(50, 7));
-        let b = ReconciliationTree::from_keys(params, b_keys);
-        let before = icd_art::search_differences(&b, &summary);
-        let msg = roundtrip(&Message::Art(summary));
-        let Message::Art(back) = msg else { unreachable!() };
-        let after = icd_art::search_differences(&b, &back);
-        assert_eq!(before.missing_at_peer, after.missing_at_peer);
+    fn summary_frame_layout_is_stable() {
+        let msg = Message::Summary {
+            summary_id: 0x0104,
+            body: vec![0xAB, 0xCD],
+        };
+        assert_eq!(
+            msg.encode(),
+            vec![0x07, 0x04, 0x01, 64, 2, 0, 0, 0, 0xAB, 0xCD]
+        );
+    }
+
+    #[test]
+    fn element_width_mismatch_rejected_not_decoded() {
+        // Regression for the silent-truncation hazard: a frame declaring
+        // 32-bit elements must fail loudly, not decode its body against
+        // 64-bit symbol ids.
+        let mut bytes = Message::Summary {
+            summary_id: 4,
+            body: vec![1, 2, 3, 4],
+        }
+        .encode();
+        assert_eq!(bytes[3], SYMBOL_ID_BITS);
+        bytes[3] = 32;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::ElementWidthMismatch {
+                declared: 32,
+                expected: 64
+            })
+        );
+        bytes[3] = 0;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::ElementWidthMismatch { declared: 0, .. })
+        ));
     }
 
     #[test]
@@ -449,12 +459,23 @@ mod tests {
             let err = Message::decode(&bytes[..cut]);
             assert!(err.is_err(), "decode of {cut}-byte prefix should fail");
         }
+        let summary = Message::Summary {
+            summary_id: 4,
+            body: vec![9; 24],
+        };
+        let bytes = summary.encode();
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "summary cut {cut}");
+        }
     }
 
     #[test]
     fn bad_tag_rejected() {
         assert_eq!(Message::decode(&[0xEE]), Err(WireError::BadTag(0xEE)));
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+        // The retired mechanism-specific tags stay dead.
+        assert_eq!(Message::decode(&[0x04]), Err(WireError::BadTag(0x04)));
+        assert_eq!(Message::decode(&[0x05]), Err(WireError::BadTag(0x05)));
     }
 
     #[test]
@@ -490,14 +511,5 @@ mod tests {
             Message::decode(&bytes),
             Err(WireError::Invalid("recoded symbol with no components"))
         );
-    }
-
-    #[test]
-    fn zero_hash_bloom_rejected() {
-        let filter = BloomFilter::from_keys(keys(10, 8).iter().copied(), 8.0, 1);
-        let mut bytes = Message::Bloom(filter).encode();
-        // Corrupt k (offset: 1 tag + 8 bits) to zero.
-        bytes[9] = 0;
-        assert!(matches!(Message::decode(&bytes), Err(WireError::Invalid(_))));
     }
 }

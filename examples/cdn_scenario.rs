@@ -13,8 +13,10 @@
 use icd_overlay::receiver::Receiver;
 use icd_overlay::scenario::ScenarioParams;
 use icd_overlay::strategy::{FullSender, ReceiverHandshake, Sender, StrategyKind};
-use icd_overlay::transfer::{run_loop, FILTER_BITS_PER_ELEMENT};
+use icd_overlay::transfer::{handshake_estimate, run_loop, standard_sizing};
+use icd_recon::shared_registry;
 use icd_sketch::PermutationFamily;
+use icd_summary::SummaryId;
 use icd_util::hash::mix64;
 
 fn main() {
@@ -55,12 +57,19 @@ fn main() {
     // (c) Collaborative: the bottlenecked parent PLUS perpendicular
     // full-rate connections to D and E with Bloom-reconciled transfers.
     let mut receiver = Receiver::new(&c_set, target);
-    let handshake =
-        ReceiverHandshake::for_strategy(StrategyKind::RandomBloom, &c_set, FILTER_BITS_PER_ELEMENT, &family);
+    let strategy = StrategyKind::RandomSummary(SummaryId::BLOOM);
+    let handshake = ReceiverHandshake::for_strategy(
+        strategy,
+        &c_set,
+        &standard_sizing(),
+        &family,
+        shared_registry(),
+        &handshake_estimate(c_set.len(), d_set.len(), needed),
+    );
     let per_peer = needed / 2;
     let mut peers = vec![
-        Sender::new(StrategyKind::RandomBloom, d_set, &handshake, &family, 1, per_peer),
-        Sender::new(StrategyKind::RandomBloom, e_set, &handshake, &family, 2, per_peer),
+        Sender::new(strategy, d_set, &handshake, &family, shared_registry(), 1, per_peer),
+        Sender::new(strategy, e_set, &handshake, &family, shared_registry(), 2, per_peer),
     ];
     // The parent still trickles fresh symbols: model its 1/4 rate by
     // letting it send on every 4th tick via a full sender we gate below.

@@ -9,6 +9,7 @@
 use icd_overlay::churn::{run_with_migration, MigrationConfig};
 use icd_overlay::scenario::ScenarioParams;
 use icd_overlay::strategy::StrategyKind;
+use icd_summary::SummaryId;
 
 fn main() {
     let n = 6_000usize;
@@ -20,8 +21,11 @@ fn main() {
     );
     println!("{}", "-".repeat(74));
     for interval in [u64::MAX, 400, 100, 25] {
-        for strategy in [StrategyKind::Random, StrategyKind::RandomBloom, StrategyKind::RecodeBloom]
-        {
+        for strategy in [
+            StrategyKind::Random,
+            StrategyKind::RandomSummary(SummaryId::BLOOM),
+            StrategyKind::RecodeSummary(SummaryId::BLOOM),
+        ] {
             let out = run_with_migration(
                 &params,
                 strategy,

@@ -32,12 +32,11 @@ fn main() {
     );
 
     // One reconciliation session: the receiver's sketch goes out, the
-    // plan is chosen from the estimated overlap, a Bloom summary crosses
-    // the wire, and the sender streams only symbols the receiver lacks.
-    let config = SessionConfig {
-        request: (l + l / 10) as u64, // ask for everything we might need
-        ..SessionConfig::default()
-    };
+    // plan is scored over the summary registry from the estimated
+    // overlap, the winning digest crosses the wire in the generic
+    // tagged frame, and the sender streams only symbols the receiver
+    // lacks.
+    let config = SessionConfig::new().with_request((l + l / 10) as u64); // ask for everything we might need
     let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
     let mut sender = SenderSession::new(sender_ws, 99);
     let (msgs_to_sender, msgs_to_receiver) =

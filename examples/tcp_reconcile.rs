@@ -33,10 +33,7 @@ fn main() {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let mut working = WorkingSet::from_symbols(receiver_symbols);
     let before = working.len();
-    let config = SessionConfig {
-        request: (l / 2) as u64,
-        ..SessionConfig::default()
-    };
+    let config = SessionConfig::new().with_request((l / 2) as u64);
     let (mut session, opening) = ReceiverSession::start(&working, config);
     let mut control_bytes = 0usize;
     let mut data_bytes = 0usize;

@@ -6,5 +6,6 @@ pub use icd_fountain as fountain;
 pub use icd_overlay as overlay;
 pub use icd_recon as recon;
 pub use icd_sketch as sketch;
+pub use icd_summary as summary;
 pub use icd_util as util;
 pub use icd_wire as wire;

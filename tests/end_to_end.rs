@@ -32,10 +32,7 @@ fn reconcile_then_decode_byte_exact() {
     let universe: Vec<EncodedSymbol> = encoder.stream(3).take(l * 3 / 2).collect();
     let (mut receiver_ws, sender_ws) = split_universe(&universe, 0.6, 0.6);
 
-    let config = SessionConfig {
-        request: (l + l / 5) as u64,
-        ..SessionConfig::default()
-    };
+    let config = SessionConfig::new().with_request((l + l / 5) as u64);
     let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
     let mut sender = SenderSession::new(sender_ws, 4);
     pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");
@@ -67,10 +64,7 @@ fn transferred_payloads_are_authentic() {
 
     let (mut session, opening) = ReceiverSession::start(
         &receiver_ws,
-        SessionConfig {
-            request: l as u64,
-            ..SessionConfig::default()
-        },
+        SessionConfig::new().with_request(l as u64),
     );
     let mut sender = SenderSession::new(sender_ws, 8);
     pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");
@@ -108,14 +102,12 @@ fn speculative_path_decodes_too() {
     let l = encoder.spec().num_blocks();
     let universe: Vec<EncodedSymbol> = encoder.stream(15).take(l * 2).collect();
     let (mut receiver_ws, sender_ws) = split_universe(&universe, 0.55, 0.9);
-    let config = SessionConfig {
-        request: (l * 3) as u64,
-        knobs: PolicyKnobs {
+    let config = SessionConfig::new()
+        .with_request((l * 3) as u64)
+        .with_knobs(PolicyKnobs {
             fine_grained_capable: false,
             ..PolicyKnobs::default()
-        },
-        ..SessionConfig::default()
-    };
+        });
     let (mut session, opening) = ReceiverSession::start(&receiver_ws, config);
     let mut sender = SenderSession::new(sender_ws, 16);
     pump(&mut session, &mut receiver_ws, &mut sender, opening).expect("session");

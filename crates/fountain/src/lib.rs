@@ -42,5 +42,5 @@ pub mod recode;
 pub use block::{SourceBlocks, SymbolId};
 pub use decoder::{DecodeStatus, Decoder};
 pub use degree::DegreeDistribution;
-pub use encoder::{CodeSpec, EncodedSymbol, Encoder};
-pub use recode::{RecodeBuffer, RecodePolicy, RecodedSymbol, Recoder};
+pub use encoder::{CodeSpec, EncodeScratch, EncodedSymbol, Encoder};
+pub use recode::{IdRecodeBuffer, RecodeBuffer, RecodePolicy, RecodeScratch, RecodedSymbol, Recoder};

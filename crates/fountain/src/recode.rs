@@ -23,11 +23,12 @@
 //! 5–8 experiments.
 
 use bytes::Bytes;
-use std::collections::HashMap;
 
-use icd_util::rng::Rng64;
+use icd_util::hash::{FastHashMap, FastHashSet};
+use icd_util::rng::{DistinctSampler, Rng64};
+use icd_util::symbol::{SymbolBuf, SymbolPool};
 
-use crate::block::{xor_into, SymbolId};
+use crate::block::SymbolId;
 use crate::degree::DegreeDistribution;
 use crate::encoder::EncodedSymbol;
 
@@ -127,9 +128,22 @@ fn ln_choose(m: usize, k: usize) -> f64 {
 }
 
 /// A recoding sender over a working set of encoded symbols.
+///
+/// Ids and payloads are stored as parallel arrays: component selection
+/// touches only the dense id array (8 bytes per symbol, cache-resident
+/// even at fig-5 working-set sizes), and payload memory is read only
+/// when the symbols actually carry bytes — the §6.1 simulator runs with
+/// empty payloads and never pulls them into cache at all.
 #[derive(Debug, Clone)]
 pub struct Recoder {
-    symbols: Vec<EncodedSymbol>,
+    ids: Vec<SymbolId>,
+    /// All payloads packed word-aligned into one contiguous arena
+    /// (`word_stride` words per symbol, tails zero-padded): recoding
+    /// XORs whole words against whole words with no byte repacking, no
+    /// per-symbol pointer chase, and hardware-prefetch-friendly layout.
+    payload_words: Vec<u64>,
+    word_stride: usize,
+    payload_len: usize,
     distribution: DegreeDistribution,
     policy: RecodePolicy,
     cap: usize,
@@ -144,12 +158,46 @@ impl Recoder {
     #[must_use]
     pub fn new(symbols: Vec<EncodedSymbol>, cap: usize, policy: RecodePolicy) -> Self {
         assert!(!symbols.is_empty(), "recoder needs a non-empty working set");
+        let payload_len = symbols[0].payload.len();
+        let word_stride = payload_len.div_ceil(8);
+        let mut ids = Vec::with_capacity(symbols.len());
+        let mut payload_words = vec![0u64; symbols.len() * word_stride];
+        let mut packer = SymbolBuf::zeroed(payload_len);
+        for (i, sym) in symbols.into_iter().enumerate() {
+            ids.push(sym.id);
+            packer.copy_from_bytes(&sym.payload);
+            payload_words[i * word_stride..(i + 1) * word_stride].copy_from_slice(packer.words());
+        }
+        Self::build(ids, payload_words, payload_len, cap, policy)
+    }
+
+    /// Creates a payload-less recoder straight from symbol ids — the
+    /// simulator's form (§6.1 keeps payload bytes out of the simulation),
+    /// which skips materializing `EncodedSymbol`s entirely.
+    ///
+    /// Panics if `ids` is empty, like [`Recoder::new`].
+    #[must_use]
+    pub fn from_ids(ids: Vec<SymbolId>, cap: usize, policy: RecodePolicy) -> Self {
+        assert!(!ids.is_empty(), "recoder needs a non-empty working set");
+        Self::build(ids, Vec::new(), 0, cap, policy)
+    }
+
+    fn build(
+        ids: Vec<SymbolId>,
+        payload_words: Vec<u64>,
+        payload_len: usize,
+        cap: usize,
+        policy: RecodePolicy,
+    ) -> Self {
         assert!(cap >= 1, "degree cap must be at least 1");
-        let n = symbols.len();
+        let n = ids.len();
         let cap = cap.min(n);
         let distribution = DegreeDistribution::paper_default(n).capped(cap);
         Self {
-            symbols,
+            ids,
+            payload_words,
+            word_stride: payload_len.div_ceil(8),
+            payload_len,
             distribution,
             policy,
             cap,
@@ -159,7 +207,7 @@ impl Recoder {
     /// Working-set size `n = |B_F|`.
     #[must_use]
     pub fn working_set_size(&self) -> usize {
-        self.symbols.len()
+        self.ids.len()
     }
 
     /// The effective degree cap.
@@ -171,7 +219,7 @@ impl Recoder {
     /// Draws the degree for the next symbol according to the policy.
     fn draw_degree<R: Rng64>(&self, rng: &mut R) -> usize {
         let base = self.distribution.sample(rng);
-        let n = self.symbols.len();
+        let n = self.ids.len();
         match self.policy {
             RecodePolicy::Oblivious => base.min(self.cap),
             RecodePolicy::MinwiseScaled { containment } => {
@@ -190,23 +238,74 @@ impl Recoder {
     /// Generates one recoded symbol.
     #[must_use]
     pub fn generate<R: Rng64>(&self, rng: &mut R) -> RecodedSymbol {
-        let d = self.draw_degree(rng).min(self.symbols.len()).max(1);
-        let mut picks = rng.sample_distinct(self.symbols.len(), d);
-        picks.sort_unstable();
-        let payload_len = self.symbols[0].payload.len();
-        let mut payload = vec![0u8; payload_len];
-        let mut components = Vec::with_capacity(d);
-        for &i in &picks {
-            let sym = &self.symbols[i];
-            components.push(sym.id);
-            xor_into(&mut payload, &sym.payload);
-        }
-        components.sort_unstable();
+        let mut scratch = RecodeScratch::default();
+        self.generate_into(rng, &mut scratch);
         RecodedSymbol {
-            components,
-            payload: Bytes::from(payload),
+            components: std::mem::take(&mut scratch.components),
+            payload: Bytes::from(scratch.payload.to_vec()),
         }
     }
+
+    /// Generates one recoded symbol into reusable scratch — the
+    /// allocation-free form of [`Recoder::generate`]. After the call
+    /// `scratch.components` holds the sorted component ids and
+    /// `scratch.payload` their XOR.
+    pub fn generate_into<R: Rng64>(&self, rng: &mut R, scratch: &mut RecodeScratch) {
+        let d = self.draw_degree(rng).min(self.ids.len()).max(1);
+        scratch
+            .sampler
+            .sample_into(rng, self.ids.len(), d, &mut scratch.picks);
+        // No need to order the picks: XOR commutes and the component ids
+        // are sorted below — the output is identical either way.
+        if scratch.payload.len() == self.payload_len {
+            scratch.payload.clear();
+        } else {
+            scratch.payload = SymbolBuf::zeroed(self.payload_len);
+        }
+        scratch.components.clear();
+        for &i in &scratch.picks {
+            scratch.components.push(self.ids[i]);
+        }
+        if self.payload_len > 0 {
+            let stride = self.word_stride;
+            let arena = |i: usize| &self.payload_words[i * stride..(i + 1) * stride];
+            // Four source streams per pass: overlapping cache misses,
+            // not sequential ones, decide throughput at high degree.
+            let mut octets = scratch.picks.chunks_exact(8);
+            for o in octets.by_ref() {
+                scratch.payload.xor_word_slices8(
+                    arena(o[0]), arena(o[1]), arena(o[2]), arena(o[3]),
+                    arena(o[4]), arena(o[5]), arena(o[6]), arena(o[7]),
+                );
+            }
+            let rem = octets.remainder();
+            let mut quads = rem.chunks_exact(4);
+            for quad in quads.by_ref() {
+                scratch.payload.xor_word_slices4(
+                    arena(quad[0]),
+                    arena(quad[1]),
+                    arena(quad[2]),
+                    arena(quad[3]),
+                );
+            }
+            for &i in quads.remainder() {
+                scratch.payload.xor_word_slice(arena(i));
+            }
+        }
+        scratch.components.sort_unstable();
+    }
+}
+
+/// Reusable buffers for allocation-free recoded-symbol generation
+/// ([`Recoder::generate_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecodeScratch {
+    /// Sorted component ids (valid after `generate_into` returns).
+    pub components: Vec<SymbolId>,
+    /// XOR of the component payloads (valid after `generate_into`).
+    pub payload: SymbolBuf,
+    picks: Vec<usize>,
+    sampler: DistinctSampler,
 }
 
 /// Receiver-side substitution buffer for recoded symbols.
@@ -215,19 +314,32 @@ impl Recoder {
 /// buffers unresolved recoded symbols, and cascades: a recovered encoded
 /// symbol may unlock further recoded symbols, exactly like the base
 /// decoder's ripple but one level up.
+///
+/// Payloads are held as word-aligned [`SymbolBuf`]s drawn from an
+/// internal [`SymbolPool`], and the id-keyed maps hash through
+/// `icd_util`'s fast hasher — this buffer sits on the per-packet path of
+/// every simulated transfer, where both choices are directly measurable
+/// (`sim_step`, `recode_throughput` benches).
 #[derive(Debug, Clone, Default)]
 pub struct RecodeBuffer {
-    known: HashMap<SymbolId, Bytes>,
+    known: FastHashMap<SymbolId, SymbolBuf>,
     pending: Vec<Option<PendingRecoded>>,
-    watchers: HashMap<SymbolId, Vec<u32>>,
+    watchers: FastHashMap<SymbolId, Vec<u32>>,
     /// Recoded symbols that arrived fully known (pure redundancy).
     redundant: u64,
+    pool: SymbolPool,
+    /// Retired `remaining` vectors, reused for later pending symbols.
+    id_pool: Vec<Vec<SymbolId>>,
+    /// Retired watcher lists, reused for later watched ids.
+    watcher_pool: Vec<Vec<u32>>,
+    /// Reusable cascade queue (empty between calls).
+    queue: Vec<(SymbolId, SymbolBuf, bool)>,
 }
 
 #[derive(Debug, Clone)]
 struct PendingRecoded {
     remaining: Vec<SymbolId>,
-    payload: Vec<u8>,
+    payload: SymbolBuf,
 }
 
 impl RecodeBuffer {
@@ -242,7 +354,11 @@ impl RecodeBuffer {
     /// encoded symbols newly recovered by the cascade (excluding `sym`
     /// itself, which the caller evidently has).
     pub fn add_known(&mut self, sym: &EncodedSymbol) -> Vec<EncodedSymbol> {
-        self.resolve(sym.id, sym.payload.clone(), false)
+        let mut out = Vec::new();
+        let mut buf = self.pool.acquire_for_overwrite(sym.payload.len());
+        buf.copy_from_bytes(&sym.payload);
+        self.resolve(sym.id, buf, false, &mut out);
+        out
     }
 
     /// Whether an encoded symbol id is known.
@@ -279,87 +395,321 @@ impl RecodeBuffer {
     /// as a consequence (possibly none — buffered — or several, via
     /// cascade).
     pub fn receive(&mut self, rec: &RecodedSymbol) -> Vec<EncodedSymbol> {
-        assert!(!rec.components.is_empty(), "recoded symbol with no components");
-        let mut payload = rec.payload.to_vec();
-        let mut remaining: Vec<SymbolId> = Vec::with_capacity(rec.components.len());
-        for id in &rec.components {
+        let mut out = Vec::new();
+        self.receive_parts(&rec.components, &rec.payload, &mut out);
+        out
+    }
+
+    /// [`RecodeBuffer::receive`] from borrowed parts into a caller-owned
+    /// output vector (cleared first; returns the number recovered). The
+    /// tick loop's form: no packet object, no per-call output allocation.
+    pub fn receive_parts(
+        &mut self,
+        components: &[SymbolId],
+        payload: &[u8],
+        out: &mut Vec<EncodedSymbol>,
+    ) -> usize {
+        assert!(!components.is_empty(), "recoded symbol with no components");
+        out.clear();
+        let mut buf = self.pool.acquire_for_overwrite(payload.len());
+        buf.copy_from_bytes(payload);
+        let mut remaining = self
+            .id_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(components.len()));
+        remaining.clear();
+        remaining.reserve(components.len());
+        for id in components {
             match self.known.get(id) {
-                Some(known_payload) => xor_into(&mut payload, known_payload),
+                Some(known_payload) => buf.xor_buf(known_payload),
                 None => remaining.push(*id),
             }
         }
         match remaining.len() {
             0 => {
                 self.redundant += 1;
-                Vec::new()
+                self.pool.release(buf);
+                self.id_pool.push(remaining);
             }
-            1 => self.resolve(remaining[0], Bytes::from(payload), true),
+            1 => {
+                let id = remaining[0];
+                self.id_pool.push(remaining);
+                self.resolve(id, buf, true, out);
+            }
             _ => {
                 let slot = u32::try_from(self.pending.len()).expect("pending overflow");
                 for id in &remaining {
-                    self.watchers.entry(*id).or_default().push(slot);
+                    self.watchers
+                        .entry(*id)
+                        .or_insert_with(|| {
+                            self.watcher_pool
+                                .pop()
+                                .unwrap_or_else(|| Vec::with_capacity(4))
+                        })
+                        .push(slot);
                 }
-                self.pending.push(Some(PendingRecoded { remaining, payload }));
-                Vec::new()
+                self.pending.push(Some(PendingRecoded {
+                    remaining,
+                    payload: buf,
+                }));
             }
         }
+        out.len()
     }
 
     /// Marks `id` known with `payload` and cascades. `report_seed`
     /// controls whether the seeded symbol itself counts as recovered
     /// (true when it arrived inside a recoded symbol, false when the
     /// caller already held it); cascade recoveries are always reported.
-    fn resolve(&mut self, id: SymbolId, payload: Bytes, report_seed: bool) -> Vec<EncodedSymbol> {
-        let mut recovered = Vec::new();
-        let mut queue: Vec<(SymbolId, Bytes, bool)> = vec![(id, payload, report_seed)];
+    fn resolve(
+        &mut self,
+        id: SymbolId,
+        payload: SymbolBuf,
+        report_seed: bool,
+        out: &mut Vec<EncodedSymbol>,
+    ) {
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.push((id, payload, report_seed));
         while let Some((id, data, report)) = queue.pop() {
             if self.known.contains_key(&id) {
+                self.pool.release(data);
                 continue;
             }
-            self.known.insert(id, data.clone());
             if report {
-                recovered.push(EncodedSymbol {
+                out.push(EncodedSymbol {
                     id,
-                    payload: data.clone(),
+                    payload: if data.is_empty() {
+                        Bytes::new()
+                    } else {
+                        Bytes::from(data.to_vec())
+                    },
                 });
             }
-            let Some(watchers) = self.watchers.remove(&id) else {
-                continue;
-            };
-            for slot in watchers {
-                let Some(p) = self.pending[slot as usize].as_mut() else {
-                    continue;
-                };
-                let Some(pos) = p.remaining.iter().position(|x| *x == id) else {
-                    continue;
-                };
-                p.remaining.swap_remove(pos);
-                xor_into(&mut p.payload, &data);
-                match p.remaining.len() {
-                    0 => {
-                        // Fully consumed without yielding — redundant in
-                        // hindsight.
-                        self.pending[slot as usize] = None;
-                        self.redundant += 1;
+            if let Some(mut watchers) = self.watchers.remove(&id) {
+                for slot in watchers.drain(..) {
+                    let Some(p) = self.pending[slot as usize].as_mut() else {
+                        continue;
+                    };
+                    let Some(pos) = p.remaining.iter().position(|x| *x == id) else {
+                        continue;
+                    };
+                    p.remaining.swap_remove(pos);
+                    p.payload.xor_buf(&data);
+                    match p.remaining.len() {
+                        0 => {
+                            // Fully consumed without yielding — redundant
+                            // in hindsight.
+                            let p = self.pending[slot as usize].take().expect("checked above");
+                            self.pool.release(p.payload);
+                            self.id_pool.push(p.remaining);
+                            self.redundant += 1;
+                        }
+                        1 => {
+                            let p = self.pending[slot as usize].take().expect("checked above");
+                            queue.push((p.remaining[0], p.payload, true));
+                            self.id_pool.push(p.remaining);
+                        }
+                        _ => {}
                     }
-                    1 => {
-                        let p = self.pending[slot as usize].take().expect("checked above");
-                        queue.push((p.remaining[0], Bytes::from(p.payload), true));
-                    }
-                    _ => {}
                 }
+                self.watcher_pool.push(watchers);
+            }
+            self.known.insert(id, data);
+        }
+        self.queue = queue;
+    }
+}
+
+/// The id-projection of [`RecodeBuffer`]: identical substitution
+/// structure, no payload bytes.
+///
+/// The §6.1 simulation "keeps payload bytes out of the simulation while
+/// the substitution *structure* stays exact" — this buffer is that
+/// statement made literal. It runs the same cascade rule over bare
+/// [`SymbolId`]s: membership is one 8-byte set entry instead of a map
+/// entry carrying an empty buffer, recoveries are counted instead of
+/// materialized, and nothing is allocated per packet. A property test
+/// (`id_buffer_matches_payload_buffer`) pins it step-for-step to
+/// [`RecodeBuffer`].
+#[derive(Debug, Clone, Default)]
+pub struct IdRecodeBuffer {
+    known: FastHashSet<SymbolId>,
+    /// Unresolved component lists, slot-addressed by watchers.
+    pending: Vec<Option<Vec<SymbolId>>>,
+    watchers: FastHashMap<SymbolId, Vec<u32>>,
+    redundant: u64,
+    /// Retired `remaining` vectors, reused for later pending symbols.
+    id_pool: Vec<Vec<SymbolId>>,
+    /// Retired watcher lists, reused for later watched ids.
+    watcher_pool: Vec<Vec<u32>>,
+    /// Reusable cascade queue (empty between calls).
+    queue: Vec<SymbolId>,
+}
+
+impl IdRecodeBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer pre-sized for roughly `expected_known` ids, so
+    /// the id set and watcher map never pay a mid-transfer rehash chain.
+    #[must_use]
+    pub fn with_capacity(expected_known: usize) -> Self {
+        Self {
+            known: FastHashSet::with_capacity_and_hasher(expected_known, Default::default()),
+            watchers: FastHashMap::with_capacity_and_hasher(
+                expected_known / 2,
+                Default::default(),
+            ),
+            pending: Vec::with_capacity(expected_known / 2),
+            ..Self::default()
+        }
+    }
+
+    /// Seeds the buffer with an already-held symbol id, cascading
+    /// through pending recoded symbols. Returns the number of *other*
+    /// ids the cascade recovered (the seed itself is not counted,
+    /// matching [`RecodeBuffer::add_known`]).
+    pub fn add_known(&mut self, id: SymbolId) -> usize {
+        self.resolve(id, false)
+    }
+
+    /// Whether a symbol id is known.
+    #[must_use]
+    pub fn knows(&self, id: SymbolId) -> bool {
+        self.known.contains(&id)
+    }
+
+    /// Number of known symbol ids.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Iterates over all known ids (arbitrary order).
+    pub fn known_ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.known.iter().copied()
+    }
+
+    /// Unresolved recoded symbols currently buffered.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Recoded symbols that arrived with every component already known.
+    #[must_use]
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Receives a recoded symbol given by its component ids (a plain
+    /// encoded symbol is the degree-1 case); returns how many new ids
+    /// became known (0 — buffered or redundant — or several via
+    /// cascade).
+    pub fn receive(&mut self, components: &[SymbolId]) -> usize {
+        assert!(!components.is_empty(), "recoded symbol with no components");
+        // Pooled vectors are allocated at full packet width up front:
+        // growing a fresh Vec push-by-push costs a realloc chain per
+        // buffered packet, which profiling showed dominating the loop.
+        let mut remaining = self
+            .id_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(components.len()));
+        remaining.clear();
+        remaining.reserve(components.len());
+        for id in components {
+            if !self.known.contains(id) {
+                remaining.push(*id);
             }
         }
-        recovered
+        match remaining.len() {
+            0 => {
+                self.redundant += 1;
+                self.id_pool.push(remaining);
+                0
+            }
+            1 => {
+                let id = remaining[0];
+                self.id_pool.push(remaining);
+                self.resolve(id, true)
+            }
+            _ => {
+                let slot = u32::try_from(self.pending.len()).expect("pending overflow");
+                for id in &remaining {
+                    self.watchers
+                        .entry(*id)
+                        .or_insert_with(|| {
+                            self.watcher_pool
+                                .pop()
+                                .unwrap_or_else(|| Vec::with_capacity(4))
+                        })
+                        .push(slot);
+                }
+                self.pending.push(Some(remaining));
+                0
+            }
+        }
+    }
+
+    /// Marks `id` known and cascades, returning the number of reported
+    /// recoveries (`report_seed` mirrors [`RecodeBuffer`]'s rule: seeds
+    /// the caller already held are not counted, cascades always are).
+    fn resolve(&mut self, id: SymbolId, report_seed: bool) -> usize {
+        let mut gained = 0usize;
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.push(id);
+        let mut seed = true;
+        while let Some(id) = queue.pop() {
+            let report = report_seed || !seed;
+            seed = false;
+            if !self.known.insert(id) {
+                continue;
+            }
+            if report {
+                gained += 1;
+            }
+            if let Some(mut watchers) = self.watchers.remove(&id) {
+                for slot in watchers.drain(..) {
+                    let Some(rem) = self.pending[slot as usize].as_mut() else {
+                        continue;
+                    };
+                    let Some(pos) = rem.iter().position(|x| *x == id) else {
+                        continue;
+                    };
+                    rem.swap_remove(pos);
+                    match rem.len() {
+                        0 => {
+                            let rem = self.pending[slot as usize].take().expect("checked above");
+                            self.id_pool.push(rem);
+                            self.redundant += 1;
+                        }
+                        1 => {
+                            let rem = self.pending[slot as usize].take().expect("checked above");
+                            queue.push(rem[0]);
+                            self.id_pool.push(rem);
+                        }
+                        _ => {}
+                    }
+                }
+                self.watcher_pool.push(watchers);
+            }
+        }
+        self.queue = queue;
+        gained
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::xor_into;
     use crate::decoder::{DecodeStatus, Decoder};
     use crate::encoder::Encoder;
     use icd_util::rng::{SplitMix64, Xoshiro256StarStar};
+    use std::collections::HashMap;
 
     fn sym(id: SymbolId, byte: u8) -> EncodedSymbol {
         EncodedSymbol {

@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use icd_fountain::{
-    CodeSpec, DecodeStatus, Decoder, EncodedSymbol, Encoder, RecodeBuffer, RecodePolicy,
-    RecodedSymbol, Recoder,
+    block, CodeSpec, DecodeStatus, Decoder, EncodedSymbol, Encoder, IdRecodeBuffer, RecodeBuffer,
+    RecodePolicy, RecodedSymbol, Recoder,
 };
 use icd_util::rng::Xoshiro256StarStar;
 use proptest::prelude::*;
@@ -85,6 +85,72 @@ proptest! {
             for got in buf.receive(&recoder.generate(&mut rng)) {
                 prop_assert_eq!(&got.payload, truth.get(&got.id).expect("known id"));
             }
+        }
+    }
+
+    #[test]
+    fn vectorized_xor_matches_scalar_reference(
+        len in 0usize..1024,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        // The satellite guarantee: the u64-chunked kernel is
+        // byte-identical to the scalar loop at every length, including
+        // non-multiple-of-8 tails.
+        let mut rng = Xoshiro256StarStar::new(seed_a);
+        let a: Vec<u8> = (0..len).map(|_| (icd_util::rng::Rng64::next_u64(&mut rng) & 0xFF) as u8).collect();
+        let mut rng = Xoshiro256StarStar::new(seed_b);
+        let b: Vec<u8> = (0..len).map(|_| (icd_util::rng::Rng64::next_u64(&mut rng) & 0xFF) as u8).collect();
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        block::xor_into(&mut fast, &b);
+        block::xor_into_scalar(&mut slow, &b);
+        prop_assert_eq!(&fast, &slow);
+        // And SymbolBuf's word-packed XOR agrees with both.
+        let mut buf = icd_util::symbol::SymbolBuf::from_bytes(&a);
+        buf.xor_bytes(&b);
+        prop_assert_eq!(buf.to_vec(), slow);
+    }
+
+    #[test]
+    fn id_buffer_matches_payload_buffer(
+        universe in 4usize..48,
+        packets in proptest::collection::vec(
+            (proptest::collection::vec(0usize..48, 1..6), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        // The simulator's IdRecodeBuffer must be the exact id-projection
+        // of the payload-carrying RecodeBuffer: same known set, same
+        // gained counts, same redundancy/pending accounting, packet by
+        // packet, across interleaved add_known and receive calls.
+        let ids: Vec<u64> = (0..universe as u64).map(|i| i * 31 + 5).collect();
+        let mut full = RecodeBuffer::new();
+        let mut lean = IdRecodeBuffer::new();
+        let mut out = Vec::new();
+        for (picks, seed_known) in packets {
+            let components: Vec<u64> = {
+                let mut c: Vec<u64> = picks.iter().map(|&p| ids[p % universe]).collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            };
+            if seed_known {
+                let sym = EncodedSymbol { id: components[0], payload: Bytes::new() };
+                let cascade = full.add_known(&sym).len();
+                prop_assert_eq!(lean.add_known(components[0]), cascade);
+            } else {
+                let gained = full.receive_parts(&components, &[], &mut out);
+                prop_assert_eq!(lean.receive(&components), gained);
+            }
+            prop_assert_eq!(lean.known_count(), full.known_count());
+            prop_assert_eq!(lean.pending_count(), full.pending_count());
+            prop_assert_eq!(lean.redundant_count(), full.redundant_count());
+            let mut a: Vec<u64> = lean.known_ids().collect();
+            let mut b: Vec<u64> = full.known_ids().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
         }
     }
 

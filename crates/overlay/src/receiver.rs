@@ -1,23 +1,23 @@
 //! Receiver-side state for simulated transfers.
 //!
 //! The receiver tracks the set of distinct encoded symbols it holds and
-//! runs incoming recoded packets through the real substitution buffer
-//! (`icd_fountain::RecodeBuffer`) with zero-length payloads — the §6.1
-//! simplification keeps payload bytes out of the simulation while the
-//! substitution *structure* stays exact. Completion is reaching
+//! runs incoming recoded packets through the id-projection of the real
+//! substitution buffer (`icd_fountain::IdRecodeBuffer`, property-tested
+//! step-for-step against the payload-carrying `RecodeBuffer`) — the
+//! §6.1 simplification keeps payload bytes out of the simulation while
+//! the substitution *structure* stays exact. Completion is reaching
 //! `target` distinct symbols, i.e. `(1 + decode_overhead) · l` per the
 //! paper's constant-overhead assumption.
 
-use bytes::Bytes;
-use icd_fountain::{EncodedSymbol, RecodeBuffer};
+use icd_fountain::IdRecodeBuffer;
 
-use crate::strategy::Packet;
+use crate::strategy::{Packet, PacketScratch};
 use crate::SymbolId;
 
 /// A simulated receiver.
 #[derive(Debug, Clone)]
 pub struct Receiver {
-    buffer: RecodeBuffer,
+    buffer: IdRecodeBuffer,
     target: usize,
     /// Packets whose entire content was already known on arrival.
     redundant_packets: u64,
@@ -30,12 +30,12 @@ impl Receiver {
     /// distinct symbols (already-held symbols count toward it).
     #[must_use]
     pub fn new(initial: &[SymbolId], target: usize) -> Self {
-        let mut buffer = RecodeBuffer::new();
+        // Size for the full run: the known set ends at ~target ids (plus
+        // a small cascade overshoot), and pre-sizing keeps the hash
+        // tables from rehashing mid-transfer.
+        let mut buffer = IdRecodeBuffer::with_capacity(target.max(initial.len()) + 64);
         for &id in initial {
-            let _ = buffer.add_known(&EncodedSymbol {
-                id,
-                payload: Bytes::new(),
-            });
+            let _ = buffer.add_known(id);
         }
         Self {
             buffer,
@@ -88,27 +88,24 @@ impl Receiver {
     /// gained (0 for redundant packets; possibly > 1 when a recoded
     /// packet cascades).
     pub fn receive(&mut self, packet: &Packet) -> usize {
+        match packet {
+            Packet::Encoded(id) => self.receive_ids(false, std::slice::from_ref(id)),
+            Packet::Recoded(components) => self.receive_ids(true, components),
+        }
+    }
+
+    /// [`Receiver::receive`] from the tick loop's reusable scratch —
+    /// no packet object, no per-packet allocation.
+    pub fn receive_scratch(&mut self, scratch: &PacketScratch) -> usize {
+        self.receive_ids(scratch.is_recoded(), scratch.ids())
+    }
+
+    fn receive_ids(&mut self, recoded: bool, ids: &[SymbolId]) -> usize {
         self.packets_received += 1;
-        let gained = match packet {
-            Packet::Encoded(id) => {
-                if self.buffer.knows(*id) {
-                    0
-                } else {
-                    self.buffer
-                        .receive(&icd_fountain::RecodedSymbol {
-                            components: vec![*id],
-                            payload: Bytes::new(),
-                        })
-                        .len()
-                }
-            }
-            Packet::Recoded(components) => self
-                .buffer
-                .receive(&icd_fountain::RecodedSymbol {
-                    components: components.clone(),
-                    payload: Bytes::new(),
-                })
-                .len(),
+        let gained = if !recoded && self.buffer.knows(ids[0]) {
+            0
+        } else {
+            self.buffer.receive(ids)
         };
         if gained == 0 {
             self.redundant_packets += 1;

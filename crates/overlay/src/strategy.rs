@@ -29,8 +29,7 @@
 //!   degrees scaled by 1/(1−c), c estimated from exchanged min-wise
 //!   sketches.
 
-use bytes::Bytes;
-use icd_fountain::{EncodedSymbol, RecodePolicy, Recoder};
+use icd_fountain::{RecodePolicy, RecodeScratch, Recoder};
 use icd_sketch::{MinwiseSketch, PermutationFamily};
 use icd_summary::{DiffEstimate, SummaryId, SummaryRegistry, SummarySizing};
 use icd_util::rng::{Rng64, Xoshiro256StarStar};
@@ -55,6 +54,59 @@ impl Packet {
             Packet::Encoded(_) => 8 + block_size,
             Packet::Recoded(c) => 2 + 8 * c.len() + block_size,
         }
+    }
+}
+
+/// A reusable packet buffer for the tick loop: one of these lives for a
+/// whole simulated transfer, so emitting a packet allocates nothing —
+/// the component list is rewritten in place each tick.
+#[derive(Debug, Clone, Default)]
+pub struct PacketScratch {
+    recoded: bool,
+    ids: Vec<SymbolId>,
+}
+
+impl PacketScratch {
+    /// An empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the held packet is recoded.
+    #[must_use]
+    pub fn is_recoded(&self) -> bool {
+        self.recoded
+    }
+
+    /// The held packet's symbol ids: the single encoded id, or the
+    /// recoded component list.
+    #[must_use]
+    pub fn ids(&self) -> &[SymbolId] {
+        &self.ids
+    }
+
+    /// Materializes an owning [`Packet`] (allocates; tests and
+    /// non-hot-path callers only).
+    #[must_use]
+    pub fn to_packet(&self) -> Packet {
+        if self.recoded {
+            Packet::Recoded(self.ids.clone())
+        } else {
+            Packet::Encoded(self.ids[0])
+        }
+    }
+
+    fn set_encoded(&mut self, id: SymbolId) {
+        self.recoded = false;
+        self.ids.clear();
+        self.ids.push(id);
+    }
+
+    fn set_recoded(&mut self, components: &[SymbolId]) {
+        self.recoded = true;
+        self.ids.clear();
+        self.ids.extend_from_slice(components);
     }
 }
 
@@ -176,6 +228,25 @@ impl ReceiverHandshake {
         registry: &SummaryRegistry,
         estimate: &DiffEstimate,
     ) -> Self {
+        Self::for_strategy_with(strategy, working_set, sizing, family, registry, estimate, None)
+    }
+
+    /// [`ReceiverHandshake::for_strategy`] with the receiver's standing
+    /// min-wise sketch supplied by the caller (§4's calling card,
+    /// computed once per working-set state — e.g. cached on a scenario)
+    /// instead of rebuilt per connection. Pass `None` to compute it
+    /// here; the sketch is only consulted when the strategy needs one.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_strategy_with(
+        strategy: StrategyKind,
+        working_set: &[SymbolId],
+        sizing: &SummarySizing,
+        family: &PermutationFamily,
+        registry: &SummaryRegistry,
+        estimate: &DiffEstimate,
+        calling_card: Option<&MinwiseSketch>,
+    ) -> Self {
         let summary = strategy.summary_id().map(|id| {
             let mut keys = working_set.to_vec();
             keys.sort_unstable();
@@ -184,9 +255,11 @@ impl ReceiverHandshake {
                 .expect("strategy mechanism must be registered");
             (id, digest.encode_body())
         });
-        let sketch = strategy
-            .needs_sketch()
-            .then(|| MinwiseSketch::from_keys(family, working_set.iter().copied()));
+        let sketch = strategy.needs_sketch().then(|| {
+            calling_card
+                .cloned()
+                .unwrap_or_else(|| MinwiseSketch::from_keys(family, working_set.iter().copied()))
+        });
         Self { summary, sketch }
     }
 
@@ -210,6 +283,7 @@ pub struct Sender {
     recoder: Option<Recoder>,
     rng: Xoshiro256StarStar,
     packets_sent: u64,
+    recode_scratch: RecodeScratch,
 }
 
 impl Sender {
@@ -233,6 +307,25 @@ impl Sender {
         seed: u64,
         request_hint: usize,
     ) -> Self {
+        Self::with_calling_card(kind, working, handshake, family, registry, seed, request_hint, None)
+    }
+
+    /// [`Sender::new`] with the sender's own standing min-wise sketch
+    /// supplied (its §4 calling card — a function of `working`, cached
+    /// by the caller across connections) instead of rebuilt here. Pass
+    /// `None` to compute it; only Recode/MW consults it.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_calling_card(
+        kind: StrategyKind,
+        working: Vec<SymbolId>,
+        handshake: &ReceiverHandshake,
+        family: &PermutationFamily,
+        registry: &SummaryRegistry,
+        seed: u64,
+        request_hint: usize,
+        calling_card: Option<&MinwiseSketch>,
+    ) -> Self {
         assert!(!working.is_empty(), "sender needs a non-empty working set");
         let mut rng = Xoshiro256StarStar::new(seed);
         let mut candidates = Vec::new();
@@ -246,8 +339,8 @@ impl Sender {
                 next_candidate = 0;
             }
             StrategyKind::Recode => {
-                recoder = Some(Recoder::new(
-                    to_symbols(&working),
+                recoder = Some(Recoder::from_ids(
+                    working.clone(),
                     icd_fountain::recode::PAPER_DEGREE_LIMIT,
                     RecodePolicy::Oblivious,
                 ));
@@ -264,8 +357,8 @@ impl Sender {
                         .max(1);
                     rng.shuffle(&mut candidates);
                     let domain = candidates[..domain_size].to_vec();
-                    recoder = Some(Recoder::new(
-                        to_symbols(&domain),
+                    recoder = Some(Recoder::from_ids(
+                        domain,
                         icd_fountain::recode::PAPER_DEGREE_LIMIT,
                         RecodePolicy::Oblivious,
                     ));
@@ -273,13 +366,15 @@ impl Sender {
             }
             StrategyKind::RecodeMinwise => {
                 let receiver_sketch = handshake.sketch.as_ref().expect("Recode/MW needs a sketch");
-                let own = MinwiseSketch::from_keys(family, working.iter().copied());
+                let own = calling_card
+                    .cloned()
+                    .unwrap_or_else(|| MinwiseSketch::from_keys(family, working.iter().copied()));
                 // c = |A∩B| / |B| with B = this sender: containment of
                 // the sender's set in the receiver's (estimate() treats
                 // self as A = receiver side; call from receiver sketch).
                 let c = receiver_sketch.estimate(&own).containment_of_b();
-                recoder = Some(Recoder::new(
-                    to_symbols(&working),
+                recoder = Some(Recoder::from_ids(
+                    working.clone(),
                     icd_fountain::recode::PAPER_DEGREE_LIMIT,
                     RecodePolicy::MinwiseScaled { containment: c },
                 ));
@@ -293,6 +388,7 @@ impl Sender {
             recoder,
             rng,
             packets_sent: 0,
+            recode_scratch: RecodeScratch::default(),
         }
     }
 
@@ -326,34 +422,49 @@ impl Sender {
     /// candidate list — everything else it holds, the receiver told it
     /// it has).
     pub fn next_packet(&mut self) -> Option<Packet> {
-        let packet = match self.kind {
+        let mut scratch = PacketScratch::new();
+        self.next_packet_into(&mut scratch)
+            .then(|| scratch.to_packet())
+    }
+
+    /// Emits the next packet into reusable scratch — the tick loop's
+    /// allocation-free form of [`Sender::next_packet`]. Returns `false`
+    /// (leaving `scratch` stale) when the sender is exhausted.
+    pub fn next_packet_into(&mut self, scratch: &mut PacketScratch) -> bool {
+        let emitted = match self.kind {
             StrategyKind::Random => {
                 let id = self.working[self.rng.index(self.working.len())];
-                Some(Packet::Encoded(id))
+                scratch.set_encoded(id);
+                true
             }
             StrategyKind::RandomSummary(_) => {
                 if self.next_candidate >= self.candidates.len() {
-                    None
+                    false
                 } else {
-                    let id = self.candidates[self.next_candidate];
+                    scratch.set_encoded(self.candidates[self.next_candidate]);
                     self.next_candidate += 1;
-                    Some(Packet::Encoded(id))
+                    true
                 }
             }
             StrategyKind::Recode | StrategyKind::RecodeMinwise => {
                 let recoder = self.recoder.as_ref().expect("recoding sender has a recoder");
-                let rec = recoder.generate(&mut self.rng);
-                Some(Packet::Recoded(rec.components))
+                recoder.generate_into(&mut self.rng, &mut self.recode_scratch);
+                scratch.set_recoded(&self.recode_scratch.components);
+                true
             }
-            StrategyKind::RecodeSummary(_) => self.recoder.as_ref().map(|recoder| {
-                let rec = recoder.generate(&mut self.rng);
-                Packet::Recoded(rec.components)
-            }),
+            StrategyKind::RecodeSummary(_) => match self.recoder.as_ref() {
+                Some(recoder) => {
+                    recoder.generate_into(&mut self.rng, &mut self.recode_scratch);
+                    scratch.set_recoded(&self.recode_scratch.components);
+                    true
+                }
+                None => false,
+            },
         };
-        if packet.is_some() {
+        if emitted {
             self.packets_sent += 1;
         }
-        packet
+        emitted
     }
 }
 
@@ -404,10 +515,17 @@ impl FullSender {
 
     /// Emits the next fresh symbol (always new to every receiver).
     pub fn next_packet(&mut self) -> Packet {
-        let id = self.next;
+        let mut scratch = PacketScratch::new();
+        self.next_packet_into(&mut scratch);
+        scratch.to_packet()
+    }
+
+    /// [`FullSender::next_packet`] into reusable scratch (a full sender
+    /// never exhausts, so this always emits).
+    pub fn next_packet_into(&mut self, scratch: &mut PacketScratch) {
+        scratch.set_encoded(self.next);
         self.next += 1;
         self.packets_sent += 1;
-        Packet::Encoded(id)
     }
 
     /// Packets emitted so far.
@@ -415,15 +533,6 @@ impl FullSender {
     pub fn packets_sent(&self) -> u64 {
         self.packets_sent
     }
-}
-
-fn to_symbols(ids: &[SymbolId]) -> Vec<EncodedSymbol> {
-    ids.iter()
-        .map(|&id| EncodedSymbol {
-            id,
-            payload: Bytes::new(),
-        })
-        .collect()
 }
 
 #[cfg(test)]

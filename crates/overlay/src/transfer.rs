@@ -25,7 +25,7 @@ use crate::receiver::Receiver;
 use crate::scenario::{MultiSenderScenario, TwoPeerScenario};
 #[cfg(test)]
 use crate::scenario::ScenarioParams;
-use crate::strategy::{FullSender, ReceiverHandshake, Sender, StrategyKind};
+use crate::strategy::{FullSender, PacketScratch, ReceiverHandshake, Sender, StrategyKind};
 
 /// Bloom-filter sizing used by the summary strategies in all experiments
 /// (§5.2's 8-bits-per-element reference point).
@@ -96,6 +96,10 @@ impl TransferOutcome {
 }
 
 /// Runs the tick loop until completion, exhaustion, or `max_ticks`.
+///
+/// One [`PacketScratch`] serves every packet of the transfer: senders
+/// rewrite it in place and the receiver consumes it by reference, so
+/// the per-tick inner loop performs no heap allocation.
 pub fn run_loop(
     receiver: &mut Receiver,
     partial: &mut [Sender],
@@ -107,14 +111,15 @@ pub fn run_loop(
     let mut ticks = 0u64;
     let mut packets_from_partial = 0u64;
     let mut packets_from_full = 0u64;
+    let mut scratch = PacketScratch::new();
     while !receiver.is_complete() && ticks < max_ticks {
         ticks += 1;
         let mut any_packet = false;
         for sender in full.iter_mut() {
-            let packet = sender.next_packet();
+            sender.next_packet_into(&mut scratch);
             packets_from_full += 1;
             any_packet = true;
-            receiver.receive(&packet);
+            receiver.receive_scratch(&scratch);
             if receiver.is_complete() {
                 break;
             }
@@ -123,10 +128,10 @@ pub fn run_loop(
             break;
         }
         for sender in partial.iter_mut() {
-            if let Some(packet) = sender.next_packet() {
+            if sender.next_packet_into(&mut scratch) {
                 packets_from_partial += 1;
                 any_packet = true;
-                receiver.receive(&packet);
+                receiver.receive_scratch(&scratch);
                 if receiver.is_complete() {
                     break;
                 }
@@ -153,6 +158,13 @@ pub fn default_max_ticks(target: usize) -> u64 {
     (target as u64) * 50 + 10_000
 }
 
+/// The protocol-wide min-wise permutation family every simulated
+/// transfer shares (§4: "fixed universally off-line").
+#[must_use]
+pub fn standard_family() -> PermutationFamily {
+    PermutationFamily::standard(0x1CD)
+}
+
 /// Figure 5: one partial sender, one receiver, one strategy.
 #[must_use]
 pub fn run_transfer(
@@ -161,8 +173,8 @@ pub fn run_transfer(
     seed: u64,
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
-    let family = PermutationFamily::standard(0x1CD);
-    let handshake = ReceiverHandshake::for_strategy(
+    let family = standard_family();
+    let handshake = ReceiverHandshake::for_strategy_with(
         strategy,
         &scenario.receiver_set,
         &standard_sizing(),
@@ -173,9 +185,12 @@ pub fn run_transfer(
             scenario.sender_set.len(),
             scenario.needed(),
         ),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.receiver_sketch(&family)),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-    let mut senders = vec![Sender::new(
+    let mut senders = vec![Sender::with_calling_card(
         strategy,
         scenario.sender_set.clone(),
         &handshake,
@@ -183,6 +198,9 @@ pub fn run_transfer(
         icd_recon::shared_registry(),
         seeds.next_u64(),
         scenario.needed(),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.sender_sketch(&family)),
     )];
     run_loop(
         &mut receiver,
@@ -200,8 +218,8 @@ pub fn run_with_full_sender(
     seed: u64,
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
-    let family = PermutationFamily::standard(0x1CD);
-    let handshake = ReceiverHandshake::for_strategy(
+    let family = standard_family();
+    let handshake = ReceiverHandshake::for_strategy_with(
         strategy,
         &scenario.receiver_set,
         &standard_sizing(),
@@ -212,10 +230,13 @@ pub fn run_with_full_sender(
             scenario.sender_set.len(),
             scenario.needed(),
         ),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.receiver_sketch(&family)),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
     // Two equal-rate senders: the receiver asks each for half its need.
-    let mut senders = vec![Sender::new(
+    let mut senders = vec![Sender::with_calling_card(
         strategy,
         scenario.sender_set.clone(),
         &handshake,
@@ -223,6 +244,9 @@ pub fn run_with_full_sender(
         icd_recon::shared_registry(),
         seeds.next_u64(),
         scenario.needed().div_ceil(2),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.sender_sketch(&family)),
     )];
     let mut full = vec![FullSender::new(0)];
     run_loop(
@@ -241,8 +265,8 @@ pub fn run_multi_partial(
     seed: u64,
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
-    let family = PermutationFamily::standard(0x1CD);
-    let handshake = ReceiverHandshake::for_strategy(
+    let family = standard_family();
+    let handshake = ReceiverHandshake::for_strategy_with(
         strategy,
         &scenario.receiver_set,
         &standard_sizing(),
@@ -253,6 +277,9 @@ pub fn run_multi_partial(
             scenario.sender_sets[0].len(),
             scenario.needed(),
         ),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.receiver_sketch(&family)),
     );
     let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
     // The receiver splits its demand evenly across the k senders (§6.1).
@@ -260,8 +287,9 @@ pub fn run_multi_partial(
     let mut senders: Vec<Sender> = scenario
         .sender_sets
         .iter()
-        .map(|set| {
-            Sender::new(
+        .enumerate()
+        .map(|(i, set)| {
+            Sender::with_calling_card(
                 strategy,
                 set.clone(),
                 &handshake,
@@ -269,6 +297,9 @@ pub fn run_multi_partial(
                 icd_recon::shared_registry(),
                 seeds.next_u64(),
                 per_sender,
+                strategy
+                    .needs_sketch()
+                    .then(|| scenario.sender_sketch(i, &family)),
             )
         })
         .collect();

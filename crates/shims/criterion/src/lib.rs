@@ -16,6 +16,14 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// True when the harness was invoked with `--test` (as `cargo bench --
+/// --test` passes): run every benchmark once with a minimal sample
+/// budget, as a smoke test rather than a measurement. Mirrors the real
+/// criterion's behavior of the same flag.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Top-level harness handle.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -155,8 +163,11 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(20));
-        let per_sample =
-            ((2_000_000.0 / once.as_nanos() as f64).ceil() as usize).clamp(1, 1_000_000);
+        let per_sample = if quick_mode() {
+            1
+        } else {
+            ((2_000_000.0 / once.as_nanos() as f64).ceil() as usize).clamp(1, 1_000_000)
+        };
         for _ in 0..self.sample_budget {
             let t = Instant::now();
             for _ in 0..per_sample {
@@ -193,7 +204,7 @@ fn run_one(
 ) {
     let mut b = Bencher {
         samples_ns: Vec::new(),
-        sample_budget: sample_size,
+        sample_budget: if quick_mode() { 1 } else { sample_size },
     };
     f(&mut b);
     if b.samples_ns.is_empty() {

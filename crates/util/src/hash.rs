@@ -142,6 +142,80 @@ pub fn reduce(hash: u64, bound: usize) -> usize {
     ((u128::from(hash) * bound as u128) >> 64) as usize
 }
 
+/// A [`std::hash::Hasher`] built on [`mix64`], for hash maps keyed by
+/// 64-bit symbol ids.
+///
+/// The std default (SipHash) defends against adversarial key choice; the
+/// paper's threat model has none (cooperating peers), and the data plane
+/// probes id-keyed maps on every received symbol, so the workspace trades
+/// DoS hardening it does not need for a one-multiply-per-lookup hasher.
+/// Deterministic across runs and platforms, like everything else here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (rare: the workspace keys on u64).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            self.state = mix64(self.state ^ word);
+        }
+        // Fold the tail *with its length* so byte keys differing only in
+        // leading zero bytes (e.g. "\x01" vs "\x00\x01") hash apart.
+        let remainder = chunks.remainder();
+        if !remainder.is_empty() {
+            let mut tail = remainder.len() as u64;
+            for &b in remainder {
+                tail = (tail << 8) | u64::from(b);
+            }
+            self.state = mix64(self.state ^ tail);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.state = mix64(self.state ^ value);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FastHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBuildHasher;
+
+impl std::hash::BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// `HashMap` keyed through [`FastHasher`] — the data-plane map type.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` keyed through [`FastHasher`] — the data-plane set type.
+pub type FastHashSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +290,46 @@ mod tests {
                 assert!(dh.probe_bounded(i, bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn fast_hasher_is_deterministic_and_spreads() {
+        use std::hash::{BuildHasher, Hasher};
+        let h = |v: u64| {
+            let mut hasher = FastBuildHasher.build_hasher();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        // Byte path agrees with itself and differs across lengths.
+        let hb = |bytes: &[u8]| {
+            let mut hasher = FastBuildHasher.build_hasher();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(hb(b"abcdefgh"), hb(b"abcdefgh"));
+        assert_ne!(hb(b"abcdefgh"), hb(b"abcdefg"));
+        // Leading zero bytes in the tail must not collide.
+        assert_ne!(hb(b"\x01"), hb(b"\x00\x01"));
+        assert_ne!(hb(b"\x00"), hb(b"\x00\x00"));
+        // Sequential keys land in distinct buckets of a small table.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            buckets.insert(h(i) % 64);
+        }
+        assert_eq!(buckets.len(), 64, "sequential keys must spread");
+    }
+
+    #[test]
+    fn fast_hash_set_usable() {
+        let mut set: FastHashSet<u64> = FastHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert!(set.contains(&7));
+        let mut map: FastHashMap<u64, u32> = FastHashMap::default();
+        map.insert(1, 2);
+        assert_eq!(map.get(&1), Some(&2));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   experiment harness.
 //! * [`search`] — interpolation search over sorted keys (the lookup
 //!   structure the paper suggests for random-sample membership probes).
+//! * [`symbol`] — word-aligned payload buffers ([`symbol::SymbolBuf`])
+//!   and the free-list pool ([`symbol::SymbolPool`]) that make the
+//!   encode/decode/recode hot path allocation-free at steady state.
 //!
 //! Nothing in this crate is specific to the paper's algorithms; it exists
 //! so that the algorithmic crates stay focused and so the workspace does
@@ -32,6 +35,9 @@ pub mod modp;
 pub mod rng;
 pub mod search;
 pub mod stats;
+pub mod symbol;
 
 pub use bitvec::BitVec;
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+pub use symbol::{PoolStats, SymbolBuf, SymbolPool};

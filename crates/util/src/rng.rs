@@ -22,16 +22,23 @@ pub trait Rng64 {
     fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0, "below(0) is meaningless");
         // Rejection sampling on the low word of the 128-bit product keeps
-        // the result exactly uniform, not just approximately.
-        let threshold = bound.wrapping_neg() % bound;
-        loop {
-            let r = self.next_u64();
-            let wide = u128::from(r) * u128::from(bound);
-            let low = wide as u64;
-            if low >= threshold {
-                return (wide >> 64) as u64;
+        // the result exactly uniform, not just approximately. The
+        // rejection threshold (`-bound % bound`) costs a hardware divide,
+        // so it is computed only in the vanishingly rare case that the
+        // low word lands under `bound` — `low ≥ bound ≥ threshold`
+        // accepts immediately. The accept/reject decisions (and thus the
+        // consumed RNG stream) are identical to the eager form, so every
+        // seeded experiment reproduces bit-for-bit.
+        let mut wide = u128::from(self.next_u64()) * u128::from(bound);
+        let mut low = wide as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                wide = u128::from(self.next_u64()) * u128::from(bound);
+                low = wide as u64;
             }
         }
+        (wide >> 64) as u64
     }
 
     /// Uniform `usize` index in `[0, bound)`.
@@ -70,16 +77,72 @@ pub trait Rng64 {
     /// sampling a handful of source blocks out of tens of thousands for
     /// every encoded symbol.
     fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
-        assert!(k <= n, "cannot sample {k} distinct values from {n}");
-        let mut chosen = std::collections::HashSet::with_capacity(k);
         let mut result = Vec::with_capacity(k);
+        self.sample_distinct_into(n, k, &mut result);
+        result
+    }
+
+    /// [`Rng64::sample_distinct`] into a caller-owned vector (cleared
+    /// first), so per-symbol sampling allocates nothing at steady state.
+    ///
+    /// Membership among the ≤ degree-cap picks already made is checked by
+    /// linear scan of the output — for the small `k` of every symbol draw
+    /// this beats hashing, and it consumes the identical RNG stream, so
+    /// all seeded experiments reproduce bit-for-bit.
+    fn sample_distinct_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        out.clear();
         for j in (n - k)..n {
             let t = self.index(j + 1);
-            let pick = if chosen.contains(&t) { j } else { t };
-            chosen.insert(pick);
-            result.push(pick);
+            let pick = if out.contains(&t) { j } else { t };
+            out.push(pick);
         }
-        result
+    }
+}
+
+/// Reusable scratch for [`Rng64::sample_distinct_into`]-equivalent
+/// sampling in `O(k)` with no per-draw membership scan.
+///
+/// Floyd's algorithm needs a "was this index already picked?" test.
+/// [`Rng64::sample_distinct_into`] answers it by scanning the output —
+/// `O(k²)` compares, painful exactly when the degree distribution's
+/// spike fires (k near the cap). This sampler answers it with a
+/// generation-stamped array: one indexed load per test, a few KB that
+/// stay in L1 for any working set the simulator runs. Draws the
+/// identical picks from the identical RNG stream as the trait method.
+#[derive(Debug, Clone, Default)]
+pub struct DistinctSampler {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl DistinctSampler {
+    /// Creates an empty sampler (storage grows on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` into `out` (cleared
+    /// first), exactly as [`Rng64::sample_distinct`] would.
+    pub fn sample_into<R: Rng64>(&mut self, rng: &mut R, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        out.clear();
+        for j in (n - k)..n {
+            let t = rng.index(j + 1);
+            let pick = if self.stamp[t] == generation { j } else { t };
+            self.stamp[pick] = generation;
+            out.push(pick);
+        }
     }
 }
 
@@ -277,6 +340,22 @@ mod tests {
         let full = rng.sample_distinct(20, 20);
         let set: std::collections::HashSet<_> = full.into_iter().collect();
         assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn distinct_sampler_matches_trait_method() {
+        let mut sampler = DistinctSampler::new();
+        let mut out = Vec::new();
+        for (n, k) in [(50usize, 10usize), (50, 50), (1, 1), (2000, 50), (7, 3)] {
+            // Same seed through both paths: picks must be identical.
+            let mut a = Xoshiro256StarStar::new(n as u64 * 31 + k as u64);
+            let mut b = a.clone();
+            let expect = a.sample_distinct(n, k);
+            sampler.sample_into(&mut b, n, k, &mut out);
+            assert_eq!(out, expect, "divergence at n={n} k={k}");
+            // And the generators are left in the same state.
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

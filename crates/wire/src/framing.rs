@@ -72,13 +72,29 @@ impl From<std::io::Error> for FrameError {
 
 /// Writes one message as a frame.
 pub fn write_frame<W: Write>(writer: &mut W, msg: &Message) -> Result<(), FrameError> {
-    let body = msg.encode();
-    let len = u32::try_from(body.len()).map_err(|_| FrameError::TooLarge {
+    let mut scratch = Vec::new();
+    write_frame_buf(writer, msg, &mut scratch)
+}
+
+/// [`write_frame`] through a caller-owned scratch buffer: the length
+/// prefix and body are assembled in `scratch` (cleared first) and issued
+/// as a single write. A session pumping many symbols reuses one buffer
+/// for the whole stream instead of allocating per frame.
+pub fn write_frame_buf<W: Write>(
+    writer: &mut W,
+    msg: &Message,
+    scratch: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]);
+    msg.encode_into(scratch);
+    let body_len = scratch.len() - 4;
+    let len = u32::try_from(body_len).map_err(|_| FrameError::TooLarge {
         claimed: u32::MAX,
         limit: u32::MAX,
     })?;
-    writer.write_all(&len.to_le_bytes())?;
-    writer.write_all(&body)?;
+    scratch[..4].copy_from_slice(&len.to_le_bytes());
+    writer.write_all(scratch)?;
     Ok(())
 }
 
@@ -109,7 +125,9 @@ pub fn read_frame<R: Read>(reader: &mut R, limit: FrameLimit) -> Result<Message,
     }
     let mut body = vec![0u8; len as usize];
     reader.read_exact(&mut body)?;
-    Message::decode(&body).map_err(FrameError::Wire)
+    // Hand the body over as a shared buffer so data-plane payloads
+    // decode as views of it — the read is the frame's only copy.
+    Message::decode_from(&bytes::Bytes::from(body)).map_err(FrameError::Wire)
 }
 
 #[cfg(test)]
@@ -123,16 +141,17 @@ mod tests {
             Message::SymbolRequest { count: 9 },
             Message::EncodedSymbol {
                 id: 7,
-                payload: vec![1, 2, 3],
+                payload: bytes::Bytes::from(vec![1, 2, 3]),
             },
             Message::RecodedSymbol {
                 components: vec![4, 5],
-                payload: vec![6; 10],
+                payload: bytes::Bytes::from(vec![6; 10]),
             },
         ];
         let mut buf = Vec::new();
+        let mut scratch = Vec::new();
         for m in &msgs {
-            write_frame(&mut buf, m).expect("write");
+            write_frame_buf(&mut buf, m, &mut scratch).expect("write");
         }
         let mut cursor = Cursor::new(buf);
         for m in &msgs {

@@ -10,7 +10,14 @@
 //! `SummaryId`), the declared element width, and an opaque body the
 //! mechanism's own codec owns. The wire layer never interprets the body
 //! — adding a summary mechanism touches the registry, not this file.
+//!
+//! Data-plane payloads are [`bytes::Bytes`]: encoding a symbol message
+//! appends the shared payload without first copying it into an owned
+//! vector ([`Message::encode_into`] writes straight into the caller's
+//! frame buffer), and [`Message::decode_from`] materializes a received
+//! payload as a zero-copy view of the input buffer.
 
+use bytes::Bytes;
 use icd_sketch::{MinwiseSketch, ModKSample, RandomSample};
 
 /// The negotiated symbol-id width: every summary in this protocol
@@ -108,14 +115,14 @@ pub enum Message {
         /// Symbol id (neighbor set derives from it).
         id: u64,
         /// XOR of the neighbor source blocks.
-        payload: Vec<u8>,
+        payload: Bytes,
     },
     /// One recoded symbol (data plane, partial senders).
     RecodedSymbol {
         /// Component encoded-symbol ids.
         components: Vec<u64>,
         /// XOR of the component payloads.
-        payload: Vec<u8>,
+        payload: Bytes,
     },
     /// End of stream: the sender has satisfied (or cannot further
     /// satisfy) the outstanding request. `sent` reports how many data
@@ -126,13 +133,14 @@ pub enum Message {
     },
 }
 
-/// Byte-writer with the workspace's layout conventions.
-#[derive(Debug, Default)]
-struct Writer {
-    buf: Vec<u8>,
+/// Byte-writer with the workspace's layout conventions, appending to a
+/// caller-owned buffer so frame encoding needs no intermediate vector.
+#[derive(Debug)]
+struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -199,6 +207,9 @@ impl<'a> Reader<'a> {
         let n = self.checked_len()?;
         Ok(self.take(n)?.to_vec())
     }
+    fn pos(&self) -> usize {
+        self.pos
+    }
     fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.checked_len()?;
         let raw = self.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
@@ -216,11 +227,58 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Parsed header of a data-plane symbol frame.
+enum SymbolHeader {
+    Encoded { id: u64 },
+    Recoded { components: Vec<u64> },
+}
+
+impl SymbolHeader {
+    fn into_message(self, payload: Bytes) -> Message {
+        match self {
+            SymbolHeader::Encoded { id } => Message::EncodedSymbol { id, payload },
+            SymbolHeader::Recoded { components } => Message::RecodedSymbol { components, payload },
+        }
+    }
+}
+
+/// Parses an `ENCODED_SYMBOL`/`RECODED_SYMBOL` frame into its header
+/// plus the byte range of the payload within `input`. The single parse
+/// routine behind both [`Message::decode`] (which copies the range) and
+/// [`Message::decode_from`] (which views it).
+fn parse_symbol_frame(input: &[u8]) -> Result<(SymbolHeader, std::ops::Range<usize>), WireError> {
+    let mut r = Reader::new(input);
+    let header = match r.u8()? {
+        tag::ENCODED_SYMBOL => SymbolHeader::Encoded { id: r.u64()? },
+        tag::RECODED_SYMBOL => {
+            let components = r.u64s()?;
+            if components.is_empty() {
+                return Err(WireError::Invalid("recoded symbol with no components"));
+            }
+            SymbolHeader::Recoded { components }
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    let n = r.checked_len()?;
+    let start = r.pos();
+    let _body = r.take(n)?;
+    r.finish()?;
+    Ok((header, start..start + n))
+}
+
 impl Message {
     /// Encodes the message to bytes (tag + body).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::default();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the message by appending to `out` — the framing layer's
+    /// form: one reusable buffer, zero intermediate copies.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer { buf: out };
         match self {
             Message::Minwise(s) => {
                 w.u8(tag::MINWISE);
@@ -264,7 +322,6 @@ impl Message {
                 w.u64(*sent);
             }
         }
-        w.buf
     }
 
     /// Decodes a message. The entire input must be consumed.
@@ -308,23 +365,30 @@ impl Message {
             }
             tag::SYMBOL_REQUEST => Message::SymbolRequest { count: r.u64()? },
             tag::END => Message::End { sent: r.u64()? },
-            tag::ENCODED_SYMBOL => {
-                let id = r.u64()?;
-                let payload = r.bytes()?;
-                Message::EncodedSymbol { id, payload }
-            }
-            tag::RECODED_SYMBOL => {
-                let components = r.u64s()?;
-                if components.is_empty() {
-                    return Err(WireError::Invalid("recoded symbol with no components"));
-                }
-                let payload = r.bytes()?;
-                Message::RecodedSymbol { components, payload }
+            tag::ENCODED_SYMBOL | tag::RECODED_SYMBOL => {
+                let (header, payload) = parse_symbol_frame(input)?;
+                return Ok(header.into_message(Bytes::copy_from_slice(&input[payload])));
             }
             other => return Err(WireError::BadTag(other)),
         };
         r.finish()?;
         Ok(msg)
+    }
+
+    /// Decodes a message from a shared buffer. Identical to
+    /// [`Message::decode`] except that data-plane payloads come back as
+    /// zero-copy views of `input` — a symbol passes from frame to
+    /// decoder without its payload bytes ever being copied. Both paths
+    /// parse symbol frames through one shared routine, so they cannot
+    /// diverge.
+    pub fn decode_from(input: &Bytes) -> Result<Self, WireError> {
+        match input.first() {
+            Some(&t) if t == tag::ENCODED_SYMBOL || t == tag::RECODED_SYMBOL => {
+                let (header, payload) = parse_symbol_frame(input)?;
+                Ok(header.into_message(input.slice(payload)))
+            }
+            _ => Self::decode(input),
+        }
     }
 
     /// Encoded size in bytes.
@@ -440,19 +504,60 @@ mod tests {
         roundtrip(&Message::End { sent: 99 });
         roundtrip(&Message::EncodedSymbol {
             id: 42,
-            payload: vec![1, 2, 3, 4],
+            payload: Bytes::from(vec![1, 2, 3, 4]),
         });
         roundtrip(&Message::RecodedSymbol {
             components: vec![5, 8, 13],
-            payload: vec![0xAA; 16],
+            payload: Bytes::from(vec![0xAA; 16]),
         });
+    }
+
+    #[test]
+    fn decode_from_is_zero_copy_for_symbol_frames() {
+        let payload: Vec<u8> = (0u8..64).collect();
+        for msg in [
+            Message::EncodedSymbol {
+                id: 7,
+                payload: Bytes::from(payload.clone()),
+            },
+            Message::RecodedSymbol {
+                components: vec![3, 9],
+                payload: Bytes::from(payload.clone()),
+            },
+        ] {
+            let frame = Bytes::from(msg.encode());
+            let back = Message::decode_from(&frame).expect("decode");
+            assert_eq!(back, msg);
+            let view = match &back {
+                Message::EncodedSymbol { payload, .. }
+                | Message::RecodedSymbol { payload, .. } => payload,
+                other => panic!("unexpected {other:?}"),
+            };
+            // The payload is a view into the frame, not a copy.
+            let frame_payload = &frame[frame.len() - payload.len()..];
+            assert_eq!(view.as_ptr(), frame_payload.as_ptr(), "payload was copied");
+        }
+        // Non-symbol frames and malformed inputs fall through to decode.
+        let other = Message::SymbolRequest { count: 5 };
+        assert_eq!(
+            Message::decode_from(&Bytes::from(other.encode())).expect("decode"),
+            other
+        );
+        assert!(Message::decode_from(&Bytes::new()).is_err());
+        let truncated = Bytes::from(Message::EncodedSymbol {
+            id: 1,
+            payload: Bytes::from(vec![9; 8]),
+        }
+        .encode())
+        .slice(..10);
+        assert!(Message::decode_from(&truncated).is_err());
     }
 
     #[test]
     fn truncated_inputs_error_not_panic() {
         let msg = Message::RecodedSymbol {
             components: vec![1, 2, 3],
-            payload: vec![7; 32],
+            payload: Bytes::from(vec![7; 32]),
         };
         let bytes = msg.encode();
         for cut in 0..bytes.len() {

@@ -19,7 +19,9 @@ proptest! {
 
     #[test]
     fn encoded_symbol_roundtrip(id in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let msg = Message::EncodedSymbol { id, payload };
+        let msg = Message::EncodedSymbol { id, payload: bytes::Bytes::from(payload) };
+        // decode copies; decode_from views — both must round-trip.
+        prop_assert_eq!(Message::decode_from(&bytes::Bytes::from(msg.encode())).unwrap(), msg.clone());
         prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 
@@ -28,7 +30,8 @@ proptest! {
         components in proptest::collection::vec(any::<u64>(), 1..64),
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
-        let msg = Message::RecodedSymbol { components, payload };
+        let msg = Message::RecodedSymbol { components, payload: bytes::Bytes::from(payload) };
+        prop_assert_eq!(Message::decode_from(&bytes::Bytes::from(msg.encode())).unwrap(), msg.clone());
         prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 
@@ -37,11 +40,12 @@ proptest! {
         components in proptest::collection::vec(any::<u64>(), 1..16),
         cut_fraction in 0.0f64..1.0,
     ) {
-        let msg = Message::RecodedSymbol { components, payload: vec![7; 32] };
+        let msg = Message::RecodedSymbol { components, payload: bytes::Bytes::from(vec![7; 32]) };
         let bytes = msg.encode();
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         if cut < bytes.len() {
             prop_assert!(Message::decode(&bytes[..cut]).is_err());
+            prop_assert!(Message::decode_from(&bytes::Bytes::copy_from_slice(&bytes[..cut])).is_err());
         }
     }
 
@@ -63,7 +67,7 @@ fn framing_roundtrip_over_in_memory_stream() {
         Message::SymbolRequest { count: 1 },
         Message::EncodedSymbol {
             id: 2,
-            payload: vec![3; 100],
+            payload: bytes::Bytes::from(vec![3; 100]),
         },
         Message::End { sent: 1 },
     ];

@@ -16,9 +16,10 @@
 use icd_bench::engine::ExperimentGrid;
 use icd_bench::output::{emit, f3, Table};
 use icd_bench::ExpConfig;
+use icd_overlay::net::{ConnectSpec, Link, OverlayNet, RunLimit};
 use icd_overlay::receiver::Receiver;
 use icd_overlay::scenario::{ScenarioParams, TwoPeerScenario};
-use icd_overlay::strategy::{Packet, ReceiverHandshake, Sender, StrategyKind};
+use icd_overlay::strategy::{Packet, ReceiverHandshake, StrategyKind};
 use icd_overlay::transfer::{default_max_ticks, handshake_estimate};
 use icd_recon::shared_registry;
 use icd_sketch::PermutationFamily;
@@ -82,34 +83,30 @@ fn filter_bits_sweep(cfg: &ExpConfig) -> Table {
             (bpe, handshake, filter_bytes, withheld)
         })
         .collect();
+    // Each cell is a 2-node line on the engine with the pre-built,
+    // budget-specific handshake pinned via the ConnectSpec.
     let sweep = ExperimentGrid::new(points, vec![()], cfg.seeds());
     let results = sweep.run(|cell| {
         let (_, handshake, _, _) = cell.scenario;
-        let mut sender = Sender::new(
+        let mut net = OverlayNet::new(cell.cell_seed());
+        let receiver = net.add_node(&scenario.receiver_set, scenario.target);
+        net.set_observer(receiver, true);
+        let sender = net.add_seeder(&scenario.sender_set);
+        net.connect(
+            sender,
+            receiver,
             strategy,
-            scenario.sender_set.clone(),
-            handshake,
-            &family,
-            shared_registry(),
-            cell.cell_seed(),
-            scenario.needed(),
+            Link::default(),
+            ConnectSpec {
+                seed: cell.cell_seed(),
+                request_hint: Some(scenario.needed()),
+                handshake: Some(handshake.clone()),
+                calling_card: None,
+            },
         );
-        let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-        let mut packets = 0u64;
-        let max = default_max_ticks(scenario.target);
-        while !receiver.is_complete() && packets < max {
-            match sender.next_packet() {
-                Some(p) => {
-                    packets += 1;
-                    receiver.receive(&p);
-                }
-                None => break,
-            }
-        }
-        (
-            packets as f64 / scenario.needed() as f64,
-            receiver.is_complete(),
-        )
+        let _ = net.run(RunLimit::ticks(default_max_ticks(scenario.target)));
+        let out = net.outcome_for(receiver);
+        (out.overhead(), out.completed)
     });
     let overheads = results.summaries(|t| t.0);
     for (si, (bpe, _, filter_bytes, withheld)) in sweep.scenarios().iter().enumerate() {

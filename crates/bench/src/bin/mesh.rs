@@ -1,0 +1,10 @@
+//! Regenerates the mesh parallel-download matrix: the `OverlayNet`
+//! engine's multi-neighbor, heterogeneous-link, lossy scenarios, swept
+//! on the deterministic experiment grid.
+use icd_bench::experiments::mesh;
+use icd_bench::{output, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    output::emit(&mesh::mesh_matrix(&cfg), "mesh_matrix");
+}

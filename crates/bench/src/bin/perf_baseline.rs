@@ -14,8 +14,14 @@
 //!   symbols into a half-warm buffer, in MB absorbed per second.
 //! * **bloom** — Bloom-filter membership probes per second at the §5.2
 //!   reference geometry (8 bits/element).
+//! * **minwise** — min-wise sketch build throughput in keys per second
+//!   (128 permutations per key; the `reduce122` fast reduction's home).
 //! * **sim** — simulator ticks per second across all five §6.2
-//!   strategies at the Figure 5 geometry.
+//!   strategies at the Figure 5 geometry (two-node presets on the
+//!   `OverlayNet` engine).
+//! * **net** — discrete-event engine events per second on a mesh
+//!   parallel download (4 neighbors + background ring, heterogeneous
+//!   links).
 //!
 //! `--quick` (or `ICD_QUICK=1`) shrinks the geometry for CI smoke runs;
 //! `--out PATH` overrides the output path (default
@@ -58,7 +64,9 @@ fn main() {
     probes.push(generate);
     probes.push(substitute);
     probes.push(bloom_probe(quick));
+    probes.push(minwise_probe(quick));
     probes.push(sim_probe(quick));
+    probes.push(net_events_probe(quick));
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -226,6 +234,22 @@ fn bloom_probe(quick: bool) -> Probe {
     }
 }
 
+fn minwise_probe(quick: bool) -> Probe {
+    let keys = if quick { 20_000usize } else { 100_000 };
+    let family = icd_sketch::PermutationFamily::standard(0x1CD);
+    let mut rng = Xoshiro256StarStar::new(SEED ^ 10);
+    let key_vec: Vec<u64> = (0..keys).map(|_| rng.next_u64()).collect();
+    let secs = best_of(if quick { 2 } else { 4 }, || {
+        icd_sketch::MinwiseSketch::from_keys(&family, key_vec.iter().copied())
+    });
+    Probe {
+        name: "minwise_build_keys_per_s",
+        value: keys as f64 / secs,
+        unit: "keys/s",
+        detail: format!("{keys} keys, 128 permutations (1 KB calling card)"),
+    }
+}
+
 fn sim_probe(quick: bool) -> Probe {
     // Figure 5 geometry: compact system, correlation 0.2. The full run
     // uses the paper's 23 968 source blocks; quick shrinks it for CI.
@@ -246,5 +270,34 @@ fn sim_probe(quick: bool) -> Probe {
         value: total_ticks as f64 / secs,
         unit: "ticks/s",
         detail: format!("fig5 compact n={blocks}, all 5 strategies"),
+    }
+}
+
+fn net_events_probe(quick: bool) -> Probe {
+    // A mesh parallel download: 4 informed neighbors over heterogeneous
+    // links plus the seeders' background ring — the event-queue-heavy
+    // workload the two-node presets do not exercise.
+    let blocks = if quick { 1500 } else { 8000 };
+    let params = ScenarioParams::compact(blocks, SEED ^ 11);
+    let profiles = [
+        icd_overlay::net::Link::default(),
+        icd_overlay::net::Link::slower(2),
+        icd_overlay::net::Link {
+            interval: 1,
+            latency: 5,
+            loss: 0.02,
+        },
+    ];
+    let mut events = 0u64;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        let out = icd_overlay::net::run_mesh_download(&params, 4, 0.2, &profiles, true, SEED ^ 12);
+        assert!(out.transfer.completed, "mesh probe failed to complete");
+        events = out.events;
+    });
+    Probe {
+        name: "net_events_per_s",
+        value: events as f64 / secs,
+        unit: "events/s",
+        detail: format!("mesh n={blocks}, k=4 + ring, heterogeneous links"),
     }
 }

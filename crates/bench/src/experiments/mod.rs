@@ -7,5 +7,6 @@
 
 pub mod art_accuracy;
 pub mod calibration;
+pub mod mesh;
 pub mod summaries;
 pub mod transfers;

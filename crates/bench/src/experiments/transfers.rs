@@ -2,7 +2,10 @@
 //!
 //! Every figure is a sweep of (scenario geometry × correlation grid ×
 //! strategy × seed); points run in parallel, each point fully
-//! deterministic in its inputs.
+//! deterministic in its inputs. Each cell drives an `OverlayNet`
+//! topology preset (2-node line, line + fountain, k-sender fan-in) —
+//! the discrete-event engine underneath is the same one the mesh and
+//! churn sweeps run on.
 
 use icd_overlay::scenario::{MultiSenderScenario, ScenarioParams, TwoPeerScenario};
 use icd_overlay::strategy::StrategyKind;

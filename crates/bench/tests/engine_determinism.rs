@@ -86,6 +86,28 @@ fn multi_summary_sweep_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn mesh_sweep_is_identical_across_thread_counts() {
+    // The discrete-event engine inside each mesh cell (multi-neighbor
+    // download, heterogeneous lossy links, background ring) must be a
+    // pure function of its cell coordinates: the rendered matrix is
+    // byte-identical whether cells ran serially or on 8 workers.
+    let cfg = icd_bench::ExpConfig {
+        num_blocks: 900,
+        trials: 2,
+        base_seed: 0x1CD_2002,
+    };
+    let serial = icd_bench::experiments::mesh::mesh_matrix_with_threads(&cfg, 1).render();
+    for threads in [2, 8] {
+        let parallel =
+            icd_bench::experiments::mesh::mesh_matrix_with_threads(&cfg, threads).render();
+        assert_eq!(
+            serial, parallel,
+            "mesh sweep must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn streamed_rows_match_collected_results_under_parallelism() {
     let grid = ExperimentGrid::new((0..12u64).collect(), vec![1u64, 2], vec![3, 4, 5]);
     let mut streamed = Vec::new();

@@ -39,6 +39,9 @@ pub mod working_set;
 pub use policy::{plan_transfer, select_summary, PolicyKnobs, TransferPlan};
 #[allow(deprecated)]
 pub use policy::SummaryChoice;
-pub use session::{pump, pump_observed, ReceiverSession, SenderSession, SessionConfig, SessionError};
+pub use session::{
+    pump, pump_observed, PumpStep, ReceiverSession, SenderSession, SessionConfig, SessionError,
+    SessionPump,
+};
 pub use summary::{SummaryId, SummaryRegistry, SummarySizing};
 pub use working_set::WorkingSet;

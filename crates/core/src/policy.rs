@@ -150,9 +150,12 @@ pub fn plan_transfer(
 }
 
 /// Scores every registered mechanism and returns the cheapest one that
-/// clears the recall floor (`None` when nothing qualifies). Score =
-/// advertised wire bytes + `compute_weight` × advertised op units; ties
-/// break toward the lower [`SummaryId`], so selection is deterministic.
+/// clears the recall floor (`None` when nothing qualifies). The rule —
+/// advertised wire bytes + `compute_weight` × advertised op units, ties
+/// toward the lower [`SummaryId`] — lives in
+/// [`icd_summary::cheapest_mechanism`], shared with the overlay
+/// engine's per-link advisor so sessions and simulated links always
+/// agree.
 #[must_use]
 pub fn select_summary(
     estimate: &OverlapEstimate,
@@ -161,19 +164,7 @@ pub fn select_summary(
     registry: &SummaryRegistry,
 ) -> Option<SummaryId> {
     let est = diff_estimate(estimate);
-    let mut best: Option<(f64, SummaryId)> = None;
-    for spec in registry.iter() {
-        let recall = (spec.expected_recall)(sizing, &est);
-        if recall + 1e-12 < knobs.min_recall {
-            continue;
-        }
-        let score =
-            (spec.wire_cost)(sizing, &est) + knobs.compute_weight * (spec.compute_cost)(sizing, &est);
-        if best.is_none_or(|(best_score, _)| score < best_score) {
-            best = Some((score, spec.id));
-        }
-    }
-    best.map(|(_, id)| id)
+    icd_summary::cheapest_mechanism(registry, sizing, &est, knobs.min_recall, knobs.compute_weight)
 }
 
 #[cfg(test)]

@@ -516,10 +516,111 @@ impl SenderSession {
 
 use icd_util::rng::Rng64 as _;
 
+/// What one [`SessionPump::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpStep {
+    /// At least one message was delivered.
+    Progressed,
+    /// Both queues were empty — the exchange is quiescent. Stepping
+    /// again stays `Idle`; the call never blocks.
+    Idle,
+}
+
+/// Poll-style, non-blocking driver for one receiver/sender session pair
+/// over in-memory queues.
+///
+/// Each [`SessionPump::step`] delivers *at most one* message in each
+/// direction and returns immediately — the shape an event-driven
+/// scheduler (the overlay engine, an async reactor, a select loop over
+/// many concurrent sessions) needs: it can interleave steps of many
+/// pumps, run one session a message at a time between simulated events,
+/// and detect quiescence without ever parking a thread. The batch
+/// [`pump`]/[`pump_observed`] helpers are loops over this type, so both
+/// drivers exchange byte-identical message sequences.
+#[derive(Debug, Default)]
+pub struct SessionPump {
+    to_sender: std::collections::VecDeque<Message>,
+    to_receiver: std::collections::VecDeque<Message>,
+    delivered_to_sender: u64,
+    delivered_to_receiver: u64,
+}
+
+impl SessionPump {
+    /// Creates a pump primed with the receiver's opening messages (from
+    /// [`ReceiverSession::start`]).
+    #[must_use]
+    pub fn new(opening: Vec<Message>) -> Self {
+        Self {
+            to_sender: opening.into(),
+            ..Self::default()
+        }
+    }
+
+    /// True when no message is queued in either direction.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.to_sender.is_empty() && self.to_receiver.is_empty()
+    }
+
+    /// Messages queued toward the sender and the receiver respectively.
+    #[must_use]
+    pub fn pending(&self) -> (usize, usize) {
+        (self.to_sender.len(), self.to_receiver.len())
+    }
+
+    /// Messages delivered so far `(to_sender, to_receiver)` — what the
+    /// historical `pump` returned at quiescence.
+    #[must_use]
+    pub fn delivered(&self) -> (u64, u64) {
+        (self.delivered_to_sender, self.delivered_to_receiver)
+    }
+
+    /// Delivers at most one queued message to each side and returns
+    /// without blocking. Errors propagate from the state machines.
+    pub fn step(
+        &mut self,
+        receiver: &mut ReceiverSession,
+        receiver_working: &mut WorkingSet,
+        sender: &mut SenderSession,
+    ) -> Result<PumpStep, SessionError> {
+        self.step_observed(receiver, receiver_working, sender, |_| {})
+    }
+
+    /// [`SessionPump::step`] with an observer invoked on each message as
+    /// it is delivered (byte-accounting instrumentation).
+    pub fn step_observed(
+        &mut self,
+        receiver: &mut ReceiverSession,
+        receiver_working: &mut WorkingSet,
+        sender: &mut SenderSession,
+        mut observe: impl FnMut(&Message),
+    ) -> Result<PumpStep, SessionError> {
+        let mut progressed = false;
+        if let Some(msg) = self.to_sender.pop_front() {
+            self.delivered_to_sender += 1;
+            observe(&msg);
+            self.to_receiver.extend(sender.on_message(&msg)?);
+            progressed = true;
+        }
+        if let Some(msg) = self.to_receiver.pop_front() {
+            self.delivered_to_receiver += 1;
+            observe(&msg);
+            self.to_sender.extend(receiver.on_message(receiver_working, &msg)?);
+            progressed = true;
+        }
+        Ok(if progressed {
+            PumpStep::Progressed
+        } else {
+            PumpStep::Idle
+        })
+    }
+}
+
 /// Drives a receiver and a sender against each other over in-memory
 /// queues until quiescence. Returns the number of messages exchanged
 /// `(to_sender, to_receiver)`. Used by tests and the quickstart example;
-/// the TCP example replaces this loop with sockets.
+/// the TCP example replaces this loop with sockets, and event-driven
+/// callers use [`SessionPump`] directly.
 pub fn pump(
     receiver: &mut ReceiverSession,
     receiver_working: &mut WorkingSet,
@@ -539,28 +640,11 @@ pub fn pump_observed(
     opening: Vec<Message>,
     mut observe: impl FnMut(&Message),
 ) -> Result<(u64, u64), SessionError> {
-    let mut to_sender: std::collections::VecDeque<Message> = opening.into();
-    let mut to_receiver: std::collections::VecDeque<Message> = std::collections::VecDeque::new();
-    let mut count_s = 0u64;
-    let mut count_r = 0u64;
-    loop {
-        let mut progressed = false;
-        if let Some(msg) = to_sender.pop_front() {
-            count_s += 1;
-            observe(&msg);
-            to_receiver.extend(sender.on_message(&msg)?);
-            progressed = true;
-        }
-        if let Some(msg) = to_receiver.pop_front() {
-            count_r += 1;
-            observe(&msg);
-            to_sender.extend(receiver.on_message(receiver_working, &msg)?);
-            progressed = true;
-        }
-        if !progressed {
-            return Ok((count_s, count_r));
-        }
-    }
+    let mut queues = SessionPump::new(opening);
+    while queues.step_observed(receiver, receiver_working, sender, &mut observe)?
+        == PumpStep::Progressed
+    {}
+    Ok(queues.delivered())
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 use bytes::Bytes;
 use icd_core::summary::{standard_registry, SummaryId};
 use icd_core::{
-    pump, PolicyKnobs, ReceiverSession, SenderSession, SessionConfig, TransferPlan, WorkingSet,
+    pump, PolicyKnobs, PumpStep, ReceiverSession, SenderSession, SessionConfig, SessionPump,
+    TransferPlan, WorkingSet,
 };
 use icd_fountain::EncodedSymbol;
 use icd_util::rng::{Rng64, Xoshiro256StarStar};
@@ -175,6 +176,85 @@ fn every_registered_summary_carries_a_session_end_to_end() {
             }
         }
     }
+}
+
+#[test]
+fn poll_style_stepping_matches_the_batch_pump_exactly() {
+    // Two identical session pairs: one driven by the blocking-style
+    // batch pump, one a message at a time through the poll API. Same
+    // delivery counts, same plan, same gained symbols.
+    let make = || {
+        let (receiver_ws, sender_ws) = overlapping_sets(900, 100, 300);
+        let config = SessionConfig::new().with_request(250).with_seed(0xAA);
+        let (session, opening) = ReceiverSession::start(&receiver_ws, config);
+        let sender = SenderSession::new(sender_ws, 0xBB);
+        (receiver_ws, session, sender, opening)
+    };
+    let (mut ws_batch, mut recv_batch, mut send_batch, opening_batch) = make();
+    let counts_batch =
+        pump(&mut recv_batch, &mut ws_batch, &mut send_batch, opening_batch).expect("batch");
+
+    let (mut ws_step, mut recv_step, mut send_step, opening_step) = make();
+    let mut queues = SessionPump::new(opening_step);
+    let mut steps = 0u64;
+    while queues
+        .step(&mut recv_step, &mut ws_step, &mut send_step)
+        .expect("step")
+        == PumpStep::Progressed
+    {
+        steps += 1;
+        assert!(steps < 100_000, "step driver must terminate");
+    }
+    assert!(queues.is_idle());
+    assert_eq!(queues.delivered(), counts_batch);
+    assert_eq!(recv_step.plan(), recv_batch.plan());
+    assert_eq!(recv_step.gained(), recv_batch.gained());
+    assert_eq!(ws_step.len(), ws_batch.len());
+    // Once idle, further steps stay idle without blocking or erroring.
+    for _ in 0..3 {
+        assert_eq!(
+            queues
+                .step(&mut recv_step, &mut ws_step, &mut send_step)
+                .expect("idle step"),
+            PumpStep::Idle
+        );
+    }
+}
+
+#[test]
+fn independent_sessions_interleave_one_message_at_a_time() {
+    // The event-driven shape: a scheduler round-robins single steps of
+    // two unrelated sessions. Each must finish exactly as it would have
+    // run alone — no cross-talk through the poll API.
+    let solo = |seed: u64| {
+        let (mut ws, sender_ws) = overlapping_sets(600, 50, 200);
+        let config = SessionConfig::new().with_request(150).with_seed(seed);
+        let (mut session, opening) = ReceiverSession::start(&ws, config);
+        let mut sender = SenderSession::new(sender_ws, seed ^ 0xF0);
+        pump(&mut session, &mut ws, &mut sender, opening).expect("solo");
+        (session.gained(), ws.len())
+    };
+    let expect_a = solo(0x01);
+    let expect_b = solo(0x02);
+
+    let start = |seed: u64| {
+        let (ws, sender_ws) = overlapping_sets(600, 50, 200);
+        let config = SessionConfig::new().with_request(150).with_seed(seed);
+        let (session, opening) = ReceiverSession::start(&ws, config);
+        let sender = SenderSession::new(sender_ws, seed ^ 0xF0);
+        (ws, session, sender, SessionPump::new(opening))
+    };
+    let (mut ws_a, mut recv_a, mut send_a, mut pump_a) = start(0x01);
+    let (mut ws_b, mut recv_b, mut send_b, mut pump_b) = start(0x02);
+    loop {
+        let a = pump_a.step(&mut recv_a, &mut ws_a, &mut send_a).expect("a");
+        let b = pump_b.step(&mut recv_b, &mut ws_b, &mut send_b).expect("b");
+        if a == PumpStep::Idle && b == PumpStep::Idle {
+            break;
+        }
+    }
+    assert_eq!((recv_a.gained(), ws_a.len()), expect_a);
+    assert_eq!((recv_b.gained(), ws_b.len()), expect_b);
 }
 
 #[test]

@@ -12,18 +12,25 @@
 //! connection performs against the receiver's *current* working set,
 //! exactly as a deployment would.
 //!
+//! Since the [`crate::net`] engine landed, migration is expressed as an
+//! *event stream* over a live [`OverlayNet`]: the run is paused at every
+//! scheduled migration tick (and whenever the active link's sender
+//! exhausts), the old link is torn down, and a fresh link — fresh
+//! handshake, fresh sender — is connected before the clock resumes. No
+//! tick bookkeeping happens here; the engine owns the clock, the packet
+//! counters, and stall detection.
+//!
 //! The `churn_migration` example and the integration tests use this to
 //! show the qualitative claim: migration costs an informed transfer
 //! almost nothing, while a *stateful*, range-negotiation protocol would
 //! have had to renegotiate on every hop (§2.2's "frequent renegotiation
 //! may be required").
 
-use icd_sketch::PermutationFamily;
 use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 
-use crate::receiver::Receiver;
+use crate::net::{ConnectSpec, Link, NodeId, OverlayNet, RunLimit, StopReason};
 use crate::scenario::ScenarioParams;
-use crate::strategy::{ReceiverHandshake, Sender, StrategyKind};
+use crate::strategy::StrategyKind;
 use crate::transfer::{default_max_ticks, TransferOutcome};
 use crate::SymbolId;
 
@@ -71,12 +78,7 @@ pub fn run_with_migration(
     assert!(config.sender_pool >= 1, "need at least one sender");
     assert!(config.migration_interval >= 1, "interval must be positive");
     let distinct = params.distinct_symbols();
-    let ids: Vec<SymbolId> = (0..distinct as u64)
-        .map(|i| {
-            icd_util::hash::mix64(params.seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407))
-                & !crate::strategy::FRESH_ID_BIT
-        })
-        .collect();
+    let ids = params.symbol_ids(distinct);
     let half = distinct / 2;
     let receiver_set: Vec<SymbolId> = ids[..half].to_vec();
     let rest: Vec<SymbolId> = ids[half..].to_vec();
@@ -95,77 +97,86 @@ pub fn run_with_migration(
         })
         .collect();
 
-    let family = PermutationFamily::standard(0x1CD);
     let mut seeds = SplitMix64::new(seed);
-    let mut receiver = Receiver::new(&receiver_set, params.target());
-    let needed = receiver.remaining();
+    let mut net = OverlayNet::new(seed);
+    let receiver = net.add_node(&receiver_set, params.target());
+    net.set_observer(receiver, true);
+    let pool_nodes: Vec<NodeId> = pool_sets
+        .iter()
+        .map(|set| net.add_seeder(set))
+        .collect();
+    let needed = net.node_remaining(receiver);
     let max_ticks = default_max_ticks(params.target());
 
-    // Connect to pool member `i` with a fresh handshake.
+    // Connect to pool member `i` with a fresh handshake derived from the
+    // receiver's *current* working set (the engine builds it).
     let mut handshakes = 0u64;
-    let mut connect = |i: usize, receiver: &Receiver, seeds: &mut SplitMix64| -> Sender {
-        handshakes += 1;
-        let working = receiver.working_set();
-        let handshake = ReceiverHandshake::for_strategy(
-            strategy,
-            &working,
-            &crate::transfer::standard_sizing(),
-            &family,
-            icd_recon::shared_registry(),
-            &crate::transfer::handshake_estimate(working.len(), pool_sets[i].len(), receiver.remaining()),
-        );
-        Sender::new(
-            strategy,
-            pool_sets[i].clone(),
-            &handshake,
-            &family,
-            icd_recon::shared_registry(),
-            seeds.next_u64(),
-            receiver.remaining(),
-        )
-    };
-
-    let mut active_idx = 0usize;
-    let mut active = connect(0, &receiver, &mut seeds);
-    let mut ticks = 0u64;
-    let mut packets = 0u64;
     let mut migrations = 0u64;
-    let mut consecutive_dry_connects = 0usize;
-    while !receiver.is_complete() && ticks < max_ticks {
-        ticks += 1;
-        if ticks.is_multiple_of(config.migration_interval) {
-            active_idx = (active_idx + 1) % pool_sets.len();
-            active = connect(active_idx, &receiver, &mut seeds);
-            migrations += 1;
-        }
-        match active.next_packet() {
-            Some(packet) => {
-                consecutive_dry_connects = 0;
-                packets += 1;
-                receiver.receive(&packet);
+    let mut active_idx = 0usize;
+    handshakes += 1;
+    let mut active = net.connect(
+        pool_nodes[0],
+        receiver,
+        strategy,
+        Link::default(),
+        ConnectSpec::seeded(seeds.next_u64()),
+    );
+
+    // The migration event stream: pause the engine at every scheduled
+    // migration tick; an exhausted sender (engine stall) migrates
+    // immediately, and a full rotation of fresh connections that moves
+    // nothing means the system is stalled for good.
+    let mut next_migration = config.migration_interval;
+    let mut dry_connects = 0usize;
+    let mut packets_at_last_stall = 0u64;
+    loop {
+        let reason = net.run(RunLimit {
+            max_ticks,
+            stop_before: Some(next_migration),
+        });
+        let migrate = match reason {
+            StopReason::Completed | StopReason::MaxTicks => break,
+            StopReason::Paused => {
+                next_migration = next_migration.saturating_add(config.migration_interval);
+                true
             }
-            None => {
-                // Exhausted sender: migrate immediately (the overlay
-                // re-peers). If a full cycle of fresh connections yields
-                // nothing, the system is stalled.
-                consecutive_dry_connects += 1;
-                if consecutive_dry_connects > pool_sets.len() {
+            StopReason::Stalled => {
+                let sent = net.packets_from_partial();
+                dry_connects = if sent > packets_at_last_stall {
+                    1
+                } else {
+                    dry_connects + 1
+                };
+                packets_at_last_stall = sent;
+                if dry_connects > pool_nodes.len() {
                     break;
                 }
-                active_idx = (active_idx + 1) % pool_sets.len();
-                active = connect(active_idx, &receiver, &mut seeds);
-                migrations += 1;
+                true
             }
+        };
+        if migrate {
+            net.disconnect(active);
+            active_idx = (active_idx + 1) % pool_nodes.len();
+            handshakes += 1;
+            migrations += 1;
+            active = net.connect(
+                pool_nodes[active_idx],
+                receiver,
+                strategy,
+                Link::default(),
+                ConnectSpec::seeded(seeds.next_u64()),
+            );
         }
     }
+
     ChurnOutcome {
         transfer: TransferOutcome {
-            ticks,
-            packets_from_partial: packets,
+            ticks: net.now(),
+            packets_from_partial: net.packets_from_partial(),
             packets_from_full: 0,
-            gained: needed - receiver.remaining(),
+            gained: needed - net.node_remaining(receiver),
             needed,
-            completed: receiver.is_complete(),
+            completed: net.node_complete(receiver),
         },
         migrations,
         handshakes,

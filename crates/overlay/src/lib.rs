@@ -9,6 +9,13 @@
 //! component-id lists and resolve through the real substitution buffer
 //! from `icd-fountain`, and every run is a pure function of its seed.
 //!
+//! * [`net`] — **the overlay engine**: a discrete-event multi-peer
+//!   runtime (`OverlayNet`) in which every peer owns a working set and a
+//!   cached calling card, every directed link owns a rate/latency/loss
+//!   profile and an independent sender pump, and a binary-heap event
+//!   queue keyed by `(time, seq)` makes every run byte-identical to
+//!   replay. All transfer shapes — the classic figures, churn, meshes,
+//!   lossy heterogeneous topologies — run on this one engine.
 //! * [`receiver`] — receiver state: known-symbol set, pending recoded
 //!   symbols (substitution cascade), completion target.
 //! * [`strategy`] — the five §6.2 sender strategies: Random, Random/BF,
@@ -16,19 +23,26 @@
 //! * [`scenario`] — §6.3's experiment geometries: compact/stretched
 //!   two-peer transfers (Figure 5), full + partial sender (Figure 6),
 //!   and k partial senders (Figures 7 and 8).
-//! * [`transfer`] — the tick loop and outcome metrics.
-//! * [`churn`] — connection migration and sender churn (the §2.3
-//!   statelessness claims, exercised end to end).
+//! * [`handshake`] — the single copy of the protocol-wide handshake
+//!   parameterization (digest sizing, permutation family, difference
+//!   estimate).
+//! * [`transfer`] — the classic presets (2-node line, line + fountain,
+//!   k-sender fan-in) and the outcome metrics.
+//! * [`churn`] — connection migration as an event stream over the
+//!   engine (the §2.3 statelessness claims, exercised end to end).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod handshake;
+pub mod net;
 pub mod receiver;
 pub mod scenario;
 pub mod strategy;
 pub mod transfer;
 
+pub use net::{Link, LinkId, NodeId, OverlayNet, StopReason};
 pub use receiver::Receiver;
 pub use scenario::{MultiSenderScenario, ScenarioParams, TwoPeerScenario};
 pub use strategy::{Packet, Sender, StrategyKind};

@@ -112,8 +112,10 @@ impl ScenarioParams {
     }
 
     /// Deterministic distinct symbol ids (top bit clear, so they can
-    /// never collide with full-sender fresh ids).
-    fn symbol_ids(&self, count: usize) -> Vec<SymbolId> {
+    /// never collide with full-sender fresh ids). Shared by every
+    /// inventory builder — the churn pool construction included — so
+    /// there is exactly one id-derivation rule in the simulator.
+    pub fn symbol_ids(&self, count: usize) -> Vec<SymbolId> {
         (0..count as u64)
             .map(|i| mix64(self.seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407)) & !FRESH_ID_BIT)
             .collect()

@@ -1,10 +1,17 @@
-//! The transfer loop and its outcome metrics.
+//! The classic transfer presets and their outcome metrics.
 //!
 //! Time is discrete: in each tick every attached sender (partial and
 //! full) emits one packet — the paper's "the full sender sends regular
 //! symbols at the same rate that the partial sender sends recoded
-//! symbols". The loop ends when the receiver reaches its target, when
+//! symbols". A transfer ends when the receiver reaches its target, when
 //! every sender is provably exhausted, or at a safety cap.
+//!
+//! Since the [`crate::net`] engine landed, the functions here are thin
+//! *topology presets* over [`OverlayNet`] — a 2-node line, a line plus a
+//! fountain, and a k-sender fan-in — kept with their historical
+//! signatures. All tick bookkeeping, packet accounting, and stall
+//! detection live in the engine; the presets only wire nodes, links,
+//! and seeds the way the §6.3 figures demand.
 //!
 //! Metric definitions (used by the Figure 5–8 harnesses):
 //!
@@ -17,49 +24,22 @@
 //!   transfer takes `needed` ticks; any configuration's rate relative to
 //!   that baseline is `needed / ticks` without running the baseline.
 
-use icd_sketch::PermutationFamily;
-use icd_summary::{DiffEstimate, SummarySizing};
 use icd_util::rng::{Rng64, SplitMix64};
 
+use crate::net::{ConnectSpec, Link, OverlayNet, RunLimit};
 use crate::receiver::Receiver;
+use crate::strategy::ReceiverHandshake;
 use crate::scenario::{MultiSenderScenario, TwoPeerScenario};
 #[cfg(test)]
 use crate::scenario::ScenarioParams;
-use crate::strategy::{FullSender, PacketScratch, ReceiverHandshake, Sender, StrategyKind};
+use crate::strategy::{FullSender, Sender, StrategyKind};
 
-/// Bloom-filter sizing used by the summary strategies in all experiments
-/// (§5.2's 8-bits-per-element reference point).
-pub const FILTER_BITS_PER_ELEMENT: f64 = 8.0;
-
-/// The digest sizing every simulated transfer uses (the §5 reference
-/// points, [`FILTER_BITS_PER_ELEMENT`] for Bloom). The char-poly bound
-/// is capped low: §6.3's two-peer geometries put roughly half the
-/// system in the difference, which is exactly the regime §5.1 calls
-/// prohibitive for the polynomial method — a capped sketch fails fast
-/// (and the sweep reports the stall) instead of stalling the simulator
-/// in a Θ(m̄³) solve.
-#[must_use]
-pub fn standard_sizing() -> SummarySizing {
-    SummarySizing {
-        bloom_bits_per_element: FILTER_BITS_PER_ELEMENT,
-        poly_max_bound: 512,
-        ..SummarySizing::default()
-    }
-}
-
-/// The receiver-side estimate a simulated handshake parameterizes its
-/// digest with: its own inventory, the peer's inventory size, and the
-/// expectation that the peer supplies everything still needed. The
-/// symmetric difference (what exact mechanisms must bound) follows from
-/// inclusion–exclusion inside [`DiffEstimate::new`].
-#[must_use]
-pub fn handshake_estimate(
-    receiver_set_len: usize,
-    peer_set_len: usize,
-    needed: usize,
-) -> DiffEstimate {
-    DiffEstimate::new(receiver_set_len, peer_set_len, needed)
-}
+// The handshake parameterization constants moved to `crate::handshake`
+// (one copy for presets, churn, the engine, and the bench harnesses);
+// re-exported here because this module was their historical home.
+pub use crate::handshake::{
+    handshake_estimate, standard_family, standard_sizing, FILTER_BITS_PER_ELEMENT,
+};
 
 /// Result of one simulated transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,72 +63,63 @@ impl TransferOutcome {
     /// y-axis. Meaningful whether or not the transfer completed (an
     /// incomplete transfer divides by what was needed, understating the
     /// true cost — the `completed` flag must be consulted alongside).
+    ///
+    /// Degenerate geometry (`needed == 0`: the receiver started
+    /// complete) reports 0.0 — there is no per-needed-symbol cost when
+    /// nothing was needed — rather than dividing by zero or inventing a
+    /// cost from a clamped denominator.
     #[must_use]
     pub fn overhead(&self) -> f64 {
-        self.packets_from_partial as f64 / self.needed.max(1) as f64
+        if self.needed == 0 {
+            return 0.0;
+        }
+        self.packets_from_partial as f64 / self.needed as f64
     }
 
     /// Useful-rate relative to a lone full sender: Figures 6–8's y-axis.
+    ///
+    /// Degenerate geometry reports fixed points instead of dividing by
+    /// zero: `needed == 0` (no baseline transfer exists) is 1.0 — the
+    /// configuration is exactly as fast as the (empty) baseline — and a
+    /// zero-tick run with work outstanding is 0.0.
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        self.needed as f64 / self.ticks.max(1) as f64
+        if self.needed == 0 {
+            return 1.0;
+        }
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.needed as f64 / self.ticks as f64
     }
 }
 
-/// Runs the tick loop until completion, exhaustion, or `max_ticks`.
+/// Runs the tick loop until completion, exhaustion, or `max_ticks`,
+/// over caller-owned senders — the historical signature, now a borrowed
+/// 2-node line on the [`OverlayNet`] engine.
 ///
-/// One [`PacketScratch`] serves every packet of the transfer: senders
-/// rewrite it in place and the receiver consumes it by reference, so
-/// the per-tick inner loop performs no heap allocation.
+/// Full senders emit before partial senders within a tick, in slice
+/// order, exactly as the figures assume.
 pub fn run_loop(
     receiver: &mut Receiver,
     partial: &mut [Sender],
     full: &mut [FullSender],
     max_ticks: u64,
 ) -> TransferOutcome {
-    let needed = receiver.remaining();
-    let start = receiver.distinct_symbols();
-    let mut ticks = 0u64;
-    let mut packets_from_partial = 0u64;
-    let mut packets_from_full = 0u64;
-    let mut scratch = PacketScratch::new();
-    while !receiver.is_complete() && ticks < max_ticks {
-        ticks += 1;
-        let mut any_packet = false;
-        for sender in full.iter_mut() {
-            sender.next_packet_into(&mut scratch);
-            packets_from_full += 1;
-            any_packet = true;
-            receiver.receive_scratch(&scratch);
-            if receiver.is_complete() {
-                break;
-            }
-        }
-        if receiver.is_complete() {
-            break;
-        }
-        for sender in partial.iter_mut() {
-            if sender.next_packet_into(&mut scratch) {
-                packets_from_partial += 1;
-                any_packet = true;
-                receiver.receive_scratch(&scratch);
-                if receiver.is_complete() {
-                    break;
-                }
-            }
-        }
-        if !any_packet {
-            break; // every sender exhausted — stalled
-        }
+    let mut net = OverlayNet::new(0);
+    let hub = net.add_seeder(&[]);
+    let sink = net.add_node_receiver(std::mem::replace(receiver, Receiver::new(&[], 0)));
+    net.set_observer(sink, true);
+    for sender in full.iter_mut() {
+        net.connect_source(hub, sink, Box::new(sender), Link::default(), true);
     }
-    TransferOutcome {
-        ticks,
-        packets_from_partial,
-        packets_from_full,
-        gained: receiver.distinct_symbols() - start,
-        needed,
-        completed: receiver.is_complete(),
+    for sender in partial.iter_mut() {
+        net.connect_source(hub, sink, Box::new(sender), Link::default(), false);
     }
+    let _ = net.run(RunLimit::ticks(max_ticks));
+    let outcome = net.outcome_for(sink);
+    *receiver = net.take_node_receiver(sink);
+    outcome
 }
 
 /// Default safety cap: far above any strategy's worst case (Random's
@@ -158,14 +129,30 @@ pub fn default_max_ticks(target: usize) -> u64 {
     (target as u64) * 50 + 10_000
 }
 
-/// The protocol-wide min-wise permutation family every simulated
-/// transfer shares (§4: "fixed universally off-line").
-#[must_use]
-pub fn standard_family() -> PermutationFamily {
-    PermutationFamily::standard(0x1CD)
+/// The handshake a two-peer preset ships: built from the scenario's
+/// cached calling cards (computed once per scenario, §4's amortization),
+/// exactly what the engine would derive from the receiver node's state.
+fn two_peer_handshake(scenario: &TwoPeerScenario, strategy: StrategyKind) -> ReceiverHandshake {
+    let family = standard_family();
+    ReceiverHandshake::for_strategy_with(
+        strategy,
+        &scenario.receiver_set,
+        &standard_sizing(),
+        &family,
+        icd_recon::shared_registry(),
+        &handshake_estimate(
+            scenario.receiver_set.len(),
+            scenario.sender_set.len(),
+            scenario.needed(),
+        ),
+        strategy
+            .needs_sketch()
+            .then(|| scenario.receiver_sketch(&family)),
+    )
 }
 
-/// Figure 5: one partial sender, one receiver, one strategy.
+/// Figure 5: one partial sender, one receiver, one strategy — the
+/// 2-node line preset.
 #[must_use]
 pub fn run_transfer(
     scenario: &TwoPeerScenario,
@@ -173,44 +160,31 @@ pub fn run_transfer(
     seed: u64,
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
-    let family = standard_family();
-    let handshake = ReceiverHandshake::for_strategy_with(
+    let mut net = OverlayNet::new(seed);
+    let receiver = net.add_node(&scenario.receiver_set, scenario.target);
+    net.set_observer(receiver, true);
+    let sender = net.add_seeder(&scenario.sender_set);
+    net.connect(
+        sender,
+        receiver,
         strategy,
-        &scenario.receiver_set,
-        &standard_sizing(),
-        &family,
-        icd_recon::shared_registry(),
-        &handshake_estimate(
-            scenario.receiver_set.len(),
-            scenario.sender_set.len(),
-            scenario.needed(),
-        ),
-        strategy
-            .needs_sketch()
-            .then(|| scenario.receiver_sketch(&family)),
+        Link::default(),
+        ConnectSpec {
+            seed: seeds.next_u64(),
+            request_hint: Some(scenario.needed()),
+            handshake: Some(two_peer_handshake(scenario, strategy)),
+            calling_card: strategy
+                .needs_sketch()
+                .then(|| scenario.sender_sketch(&standard_family()).clone()),
+        },
     );
-    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-    let mut senders = vec![Sender::with_calling_card(
-        strategy,
-        scenario.sender_set.clone(),
-        &handshake,
-        &family,
-        icd_recon::shared_registry(),
-        seeds.next_u64(),
-        scenario.needed(),
-        strategy
-            .needs_sketch()
-            .then(|| scenario.sender_sketch(&family)),
-    )];
-    run_loop(
-        &mut receiver,
-        &mut senders,
-        &mut [],
-        default_max_ticks(scenario.target),
-    )
+    let _ = net.run(RunLimit::ticks(default_max_ticks(scenario.target)));
+    net.outcome_for(receiver)
 }
 
-/// Figure 6: a full sender alongside the partial sender.
+/// Figure 6: a full sender alongside the partial sender — the line-plus-
+/// fountain preset. Two equal-rate senders: the receiver asks the
+/// partial peer for half its need.
 #[must_use]
 pub fn run_with_full_sender(
     scenario: &TwoPeerScenario,
@@ -218,46 +192,33 @@ pub fn run_with_full_sender(
     seed: u64,
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
-    let family = standard_family();
-    let handshake = ReceiverHandshake::for_strategy_with(
+    let mut net = OverlayNet::new(seed);
+    let receiver = net.add_node(&scenario.receiver_set, scenario.target);
+    net.set_observer(receiver, true);
+    let sender = net.add_seeder(&scenario.sender_set);
+    // Full sender first: within a tick the fountain emits before the
+    // partial peer, the order the figures assume.
+    net.connect_full(sender, receiver, 0, Link::default());
+    net.connect(
+        sender,
+        receiver,
         strategy,
-        &scenario.receiver_set,
-        &standard_sizing(),
-        &family,
-        icd_recon::shared_registry(),
-        &handshake_estimate(
-            scenario.receiver_set.len(),
-            scenario.sender_set.len(),
-            scenario.needed(),
-        ),
-        strategy
-            .needs_sketch()
-            .then(|| scenario.receiver_sketch(&family)),
+        Link::default(),
+        ConnectSpec {
+            seed: seeds.next_u64(),
+            request_hint: Some(scenario.needed().div_ceil(2)),
+            handshake: Some(two_peer_handshake(scenario, strategy)),
+            calling_card: strategy
+                .needs_sketch()
+                .then(|| scenario.sender_sketch(&standard_family()).clone()),
+        },
     );
-    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-    // Two equal-rate senders: the receiver asks each for half its need.
-    let mut senders = vec![Sender::with_calling_card(
-        strategy,
-        scenario.sender_set.clone(),
-        &handshake,
-        &family,
-        icd_recon::shared_registry(),
-        seeds.next_u64(),
-        scenario.needed().div_ceil(2),
-        strategy
-            .needs_sketch()
-            .then(|| scenario.sender_sketch(&family)),
-    )];
-    let mut full = vec![FullSender::new(0)];
-    run_loop(
-        &mut receiver,
-        &mut senders,
-        &mut full,
-        default_max_ticks(scenario.target),
-    )
+    let _ = net.run(RunLimit::ticks(default_max_ticks(scenario.target)));
+    net.outcome_for(receiver)
 }
 
-/// Figures 7/8: k partial senders, no full sender.
+/// Figures 7/8: k partial senders, no full sender — the fan-in preset.
+/// The receiver splits its demand evenly across the k senders (§6.1).
 #[must_use]
 pub fn run_multi_partial(
     scenario: &MultiSenderScenario,
@@ -266,6 +227,8 @@ pub fn run_multi_partial(
 ) -> TransferOutcome {
     let mut seeds = SplitMix64::new(seed);
     let family = standard_family();
+    // One handshake shared by all k links (every sender set is the same
+    // size, so the estimate — and therefore the digest — is identical).
     let handshake = ReceiverHandshake::for_strategy_with(
         strategy,
         &scenario.receiver_set,
@@ -281,34 +244,29 @@ pub fn run_multi_partial(
             .needs_sketch()
             .then(|| scenario.receiver_sketch(&family)),
     );
-    let mut receiver = Receiver::new(&scenario.receiver_set, scenario.target);
-    // The receiver splits its demand evenly across the k senders (§6.1).
+    let mut net = OverlayNet::new(seed);
+    let receiver = net.add_node(&scenario.receiver_set, scenario.target);
+    net.set_observer(receiver, true);
     let per_sender = scenario.needed().div_ceil(scenario.sender_sets.len());
-    let mut senders: Vec<Sender> = scenario
-        .sender_sets
-        .iter()
-        .enumerate()
-        .map(|(i, set)| {
-            Sender::with_calling_card(
-                strategy,
-                set.clone(),
-                &handshake,
-                &family,
-                icd_recon::shared_registry(),
-                seeds.next_u64(),
-                per_sender,
-                strategy
+    for (i, set) in scenario.sender_sets.iter().enumerate() {
+        let sender = net.add_seeder(set);
+        net.connect(
+            sender,
+            receiver,
+            strategy,
+            Link::default(),
+            ConnectSpec {
+                seed: seeds.next_u64(),
+                request_hint: Some(per_sender),
+                handshake: Some(handshake.clone()),
+                calling_card: strategy
                     .needs_sketch()
-                    .then(|| scenario.sender_sketch(i, &family)),
-            )
-        })
-        .collect();
-    run_loop(
-        &mut receiver,
-        &mut senders,
-        &mut [],
-        default_max_ticks(scenario.target),
-    )
+                    .then(|| scenario.sender_sketch(i, &family).clone()),
+            },
+        );
+    }
+    let _ = net.run(RunLimit::ticks(default_max_ticks(scenario.target)));
+    net.outcome_for(receiver)
 }
 
 /// Convenience used by harnesses and tests: the analytic coupon-collector
@@ -402,6 +360,7 @@ mod tests {
         assert!(out.completed);
         assert_eq!(out.ticks, out.needed as u64, "baseline normalization");
         assert!((out.speedup() - 1.0).abs() < 1e-9);
+        assert!(receiver.is_complete(), "receiver state must round-trip");
     }
 
     #[test]
@@ -466,5 +425,59 @@ mod tests {
         assert!((v - h100).abs() < 1e-9);
         // Collect half: much cheaper.
         assert!(random_strategy_analytic_overhead(100, 100, 50) < 1.0_f64.max(v));
+    }
+
+    #[test]
+    fn degenerate_outcomes_do_not_divide_by_zero() {
+        // Nothing needed: no overhead, baseline-equal speedup — even
+        // with stray packet or tick counts.
+        let pre_complete = TransferOutcome {
+            ticks: 0,
+            packets_from_partial: 0,
+            packets_from_full: 0,
+            gained: 0,
+            needed: 0,
+            completed: true,
+        };
+        assert_eq!(pre_complete.overhead(), 0.0);
+        assert_eq!(pre_complete.speedup(), 1.0);
+        let busy_but_needless = TransferOutcome {
+            packets_from_partial: 42,
+            ticks: 7,
+            ..pre_complete
+        };
+        assert_eq!(busy_but_needless.overhead(), 0.0);
+        assert_eq!(busy_but_needless.speedup(), 1.0);
+        // Work outstanding but zero ticks elapsed: rate is 0, not ∞.
+        let stillborn = TransferOutcome {
+            ticks: 0,
+            packets_from_partial: 0,
+            packets_from_full: 0,
+            gained: 0,
+            needed: 100,
+            completed: false,
+        };
+        assert_eq!(stillborn.speedup(), 0.0);
+        assert_eq!(stillborn.overhead(), 0.0);
+    }
+
+    #[test]
+    fn pre_complete_receiver_runs_zero_ticks() {
+        let mut receiver = Receiver::new(&[1, 2, 3], 3);
+        let out = run_loop(&mut receiver, &mut [], &mut [], u64::MAX);
+        assert!(out.completed);
+        assert_eq!(out.ticks, 0);
+        assert_eq!(out.needed, 0);
+        assert_eq!(out.overhead(), 0.0);
+        assert_eq!(out.speedup(), 1.0);
+    }
+
+    #[test]
+    fn empty_sender_roster_stalls_after_one_tick() {
+        let mut receiver = Receiver::new(&[1], 10);
+        let out = run_loop(&mut receiver, &mut [], &mut [], u64::MAX);
+        assert!(!out.completed);
+        assert_eq!(out.ticks, 1, "the discovering tick still elapses");
+        assert_eq!(out.gained, 0);
     }
 }

@@ -34,7 +34,7 @@ pub mod registry;
 pub mod traits;
 
 pub use codec::{FrameReader, FrameWriter};
-pub use registry::{SummaryRegistry, SummarySpec};
+pub use registry::{cheapest_mechanism, SummaryRegistry, SummarySpec};
 pub use traits::{DiffEstimate, Reconciler, SetSummary, SummaryError, SummarySizing};
 
 /// Stable protocol identifier of a summary mechanism.

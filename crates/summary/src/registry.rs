@@ -120,6 +120,40 @@ impl SummaryRegistry {
     }
 }
 
+/// Scores every registered mechanism by its advertised costs — wire
+/// bytes plus `compute_weight` × compute op-units — and returns the
+/// cheapest one whose advertised recall clears `min_recall`, ties
+/// breaking toward the lower id (registries iterate in id order), so
+/// selection is deterministic. `None` when nothing qualifies.
+///
+/// This is *the* selection rule: the session policy
+/// (`icd_core::policy::select_summary`) and the overlay engine's
+/// per-link advisor (`icd_overlay::net::advise_summary`) both call it,
+/// so a session and a simulated link presented with the same estimate
+/// always pick the same mechanism.
+#[must_use]
+pub fn cheapest_mechanism(
+    registry: &SummaryRegistry,
+    sizing: &SummarySizing,
+    estimate: &DiffEstimate,
+    min_recall: f64,
+    compute_weight: f64,
+) -> Option<SummaryId> {
+    let mut best: Option<(f64, SummaryId)> = None;
+    for spec in registry.iter() {
+        let recall = (spec.expected_recall)(sizing, estimate);
+        if recall + 1e-12 < min_recall {
+            continue;
+        }
+        let score =
+            (spec.wire_cost)(sizing, estimate) + compute_weight * (spec.compute_cost)(sizing, estimate);
+        if best.is_none_or(|(best_score, _)| score < best_score) {
+            best = Some((score, spec.id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

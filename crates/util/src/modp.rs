@@ -36,6 +36,32 @@ pub fn reduce128(x: u128) -> u64 {
     s
 }
 
+/// Reduces a value `< 2^122 + 2^61` — the range of `a·x + b` for field
+/// elements — into `[0, P)` with a Lemire/Barrett-style fused fold:
+/// one two-limb split, one carry fold, and a *single* conditional
+/// subtraction, versus [`reduce128`]'s three-limb split and double
+/// subtraction. This is the min-wise sketch build's inner operation
+/// (128 executions per inserted key), where the saved ALU work is
+/// measurable; value-identical to [`reduce128`] on the whole domain
+/// (proptested below and pinned by the sketch-identity test in
+/// `icd-sketch`).
+#[inline]
+#[must_use]
+pub fn reduce122(x: u128) -> u64 {
+    debug_assert!(x < (1u128 << 122) + (1u128 << 61));
+    // x = lo + 2^61·hi with hi < 2^61 + 1; 2^61 ≡ 1 (mod P) so x ≡ lo + hi.
+    let lo = (x as u64) & P;
+    let hi = (x >> 61) as u64;
+    // s < 2^62 + 1: fold once more; (s & P) + (s >> 61) ≤ P + 2.
+    let s = lo + hi;
+    let folded = (s & P) + (s >> 61);
+    if folded >= P {
+        folded - P
+    } else {
+        folded
+    }
+}
+
 /// Canonicalizes any `u64` into `[0, P)`.
 #[inline]
 #[must_use]
@@ -171,6 +197,40 @@ mod tests {
         let big = u128::from(P - 1) * u128::from(P - 1);
         let expect = (big % u128::from(P)) as u64;
         assert_eq!(reduce128(big), expect);
+    }
+
+    #[test]
+    fn reduce122_matches_reduce128_on_its_domain() {
+        // Edges of the a·x + b domain plus structured probes.
+        let edges = [
+            0u128,
+            1,
+            u128::from(P) - 1,
+            u128::from(P),
+            u128::from(P) + 1,
+            1 << 61,
+            (1 << 61) - 1,
+            (1 << 122) - 1,
+            (1 << 122) + (1 << 61) - 1, // domain maximum
+            u128::from(P - 1) * u128::from(P - 1) + u128::from(P - 1),
+        ];
+        for x in edges {
+            assert_eq!(reduce122(x), reduce128(x), "x = {x}");
+        }
+        // Dense pseudo-random sweep over the domain.
+        let mut state = 0x1CD_2002u64;
+        for _ in 0..50_000 {
+            // SplitMix64 step (inline to keep util dependency-free here).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let a = (z ^ (z >> 31)) % P;
+            let b = z.rotate_left(17) % P;
+            let x = u128::from(a) * u128::from(b) + u128::from(b);
+            assert_eq!(reduce122(x), reduce128(x), "a={a} b={b}");
+            assert_eq!(reduce122(x), (x % u128::from(P)) as u64);
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Parallel download from a full sender plus a partial sender (the
 //! Figure 6 setting), comparing all five §6.2 strategies at one
 //! correlation point — the interactive, single-run companion to the
-//! `fig6` harness binary.
+//! `fig6` harness binary. Both runs are `OverlayNet` presets (a 2-node
+//! line, and the line plus a fountain link); see the `mesh_download`
+//! example for topologies beyond the classic figures.
 //!
 //! Run with: `cargo run --release --example parallel_download [correlation]`
 

@@ -22,6 +22,12 @@
 //! * **net** — discrete-event engine events per second on a mesh
 //!   parallel download (4 neighbors + background ring, heterogeneous
 //!   links).
+//! * **swarm** — engine events per second through a full
+//!   `Swarm::run` at the thousand-node power-law geometry with 10%
+//!   membership churn — the workload the indexed send calendar (per-node
+//!   link lists + next-send heap) exists for: thousands of links, most
+//!   idle or torn down at any instant, which the replaced per-tick
+//!   linear link scan paid for on every tick.
 //!
 //! `--quick` (or `ICD_QUICK=1`) shrinks the geometry for CI smoke runs;
 //! `--out PATH` overrides the output path (default
@@ -67,6 +73,7 @@ fn main() {
     probes.push(minwise_probe(quick));
     probes.push(sim_probe(quick));
     probes.push(net_events_probe(quick));
+    probes.push(swarm_events_probe(quick));
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -299,5 +306,52 @@ fn net_events_probe(quick: bool) -> Probe {
         value: events as f64 / secs,
         unit: "events/s",
         detail: format!("mesh n={blocks}, k=4 + ring, heterogeneous links"),
+    }
+}
+
+fn swarm_events_probe(quick: bool) -> Probe {
+    // A thousand-node power-law swarm under 10% membership churn with
+    // heterogeneous link rates (intervals 1–16, as adaptive overlays
+    // have): most links are idle on most ticks, and churn plus
+    // connection maintenance keeps retiring links — the regime where
+    // the indexed send calendar replaces the per-tick linear link scan,
+    // which paid O(all links ever) on every tick regardless of how few
+    // were due or even alive.
+    let peers = if quick { 250 } else { 1000 };
+    let blocks = if quick { 48 } else { 64 };
+    let profiles: Vec<icd_swarm::Link> =
+        [1u64, 2, 4, 8, 16].iter().map(|&i| icd_swarm::Link::slower(i)).collect();
+    let mut cfg = icd_swarm::SwarmConfig::new(
+        peers,
+        blocks,
+        icd_swarm::TopologyKind::PowerLaw { m: 2 },
+    )
+    .with_link_profiles(profiles)
+    .with_churn(icd_swarm::ChurnConfig {
+        leave_fraction: 0.10,
+        downtime: 60,
+        window: (5, 160),
+        joins: peers / 100,
+        rewires: peers / 50,
+    });
+    // Slow links deliver few packets per maintenance window; match the
+    // cadence so stagnation detection reflects rate, not impatience.
+    cfg.refresh_interval = 40;
+    let mut events = 0u64;
+    let mut roster = 0usize;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        let out = icd_swarm::run_swarm(cfg.clone(), SEED ^ 13);
+        assert!(out.all_complete(), "swarm probe failed to complete");
+        events = out.events;
+        roster = out.peers;
+    });
+    Probe {
+        name: "swarm_events_per_s",
+        value: events as f64 / secs,
+        unit: "events/s",
+        detail: format!(
+            "{roster}-peer power-law(m=2) swarm, n={blocks}, 10% churn, \
+             link intervals 1-16, all complete"
+        ),
     }
 }

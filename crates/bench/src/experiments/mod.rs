@@ -9,4 +9,5 @@ pub mod art_accuracy;
 pub mod calibration;
 pub mod mesh;
 pub mod summaries;
+pub mod swarm;
 pub mod transfers;

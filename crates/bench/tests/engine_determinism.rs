@@ -108,6 +108,28 @@ fn mesh_sweep_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn swarm_sweep_is_identical_across_thread_counts() {
+    // Each swarm cell interleaves a membership event stream (joins,
+    // leaves, rejoins, rewires) with engine execution and maintenance
+    // passes; the rendered matrix must still be a pure function of the
+    // cell coordinates at any worker count.
+    let cfg = icd_bench::ExpConfig {
+        num_blocks: 48,
+        trials: 2,
+        base_seed: 0x1CD_2002,
+    };
+    let serial = icd_bench::experiments::swarm::swarm_matrix_with_threads(&cfg, 1).render();
+    for threads in [2, 8] {
+        let parallel =
+            icd_bench::experiments::swarm::swarm_matrix_with_threads(&cfg, threads).render();
+        assert_eq!(
+            serial, parallel,
+            "swarm sweep must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn streamed_rows_match_collected_results_under_parallelism() {
     let grid = ExperimentGrid::new((0..12u64).collect(), vec![1u64, 2], vec![3, 4, 5]);
     let mut streamed = Vec::new();

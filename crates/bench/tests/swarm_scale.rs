@@ -1,0 +1,48 @@
+//! The thousand-node acceptance pin: a seeded 1000-node power-law swarm
+//! with ≥10% membership churn runs to all-nodes-complete through
+//! `Swarm::run`, byte-identical whether the grid ran its cells on one
+//! worker or eight. This is the geometry the engine's indexed send
+//! calendar (per-node link lists + next-send heap) exists for; the
+//! `swarm_events_per_s` probe in `perf_baseline` tracks its throughput.
+
+use icd_bench::engine::ExperimentGrid;
+use icd_swarm::{run_swarm, ChurnConfig, SwarmConfig, SwarmOutcome, TopologyKind};
+
+fn thousand_node_config() -> SwarmConfig {
+    SwarmConfig::new(1000, 48, TopologyKind::PowerLaw { m: 2 }).with_churn(ChurnConfig {
+        leave_fraction: 0.10,
+        downtime: 30,
+        window: (5, 80),
+        joins: 10,
+        rewires: 20,
+    })
+}
+
+fn run_grid(threads: usize) -> Vec<SwarmOutcome> {
+    // Two seeds → two cells, so the 8-thread run genuinely schedules
+    // cells concurrently.
+    let grid = ExperimentGrid::new(vec![()], vec![()], vec![0xA11, 0xA12]);
+    grid.run_with_threads(threads, |cell| run_swarm(thousand_node_config(), cell.seed))
+        .into_cells()
+}
+
+#[test]
+fn thousand_node_power_law_swarm_completes_under_churn() {
+    let serial = run_grid(1);
+    let parallel = run_grid(8);
+    assert_eq!(serial, parallel, "1-thread vs 8-thread outcomes diverged");
+    for out in &serial {
+        assert!(
+            out.all_complete(),
+            "swarm must run to all-nodes-complete: {}/{} (stop {:?})",
+            out.completed,
+            out.peers,
+            out.stop
+        );
+        // ≥10% of the 998 eligible peers actually cycled out and the
+        // roster grew by the scheduled joins.
+        assert!(out.leaves >= 99, "only {} leaves", out.leaves);
+        assert!(out.peers >= 1010, "joins missing: roster {}", out.peers);
+        assert!(out.rejoins > 0 && out.rewires > 0);
+    }
+}

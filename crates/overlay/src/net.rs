@@ -236,10 +236,16 @@ impl Ord for Event {
 #[derive(Debug)]
 struct NodeState {
     receiver: Receiver,
-    /// Construction-time inventory in insertion order: the snapshot a
-    /// link sender is built over (§6.1: inventories and summaries are
-    /// not updated mid-connection).
+    /// Advertised inventory in insertion order: the set a link sender is
+    /// built over. Snapshotted at construction and *refreshed on every
+    /// (re)connect* — symbols gained since the last connection are
+    /// appended (in sorted order) by [`OverlayNet::refresh_inventory`],
+    /// closing §6.1's snapshot-at-connect gap for rejoining peers. It is
+    /// still never updated mid-connection, exactly as §6.1 requires.
     inventory: Vec<SymbolId>,
+    /// Distinct count `inventory` reflected when it was last refreshed;
+    /// a cheap staleness check that keeps first connections free.
+    advertised: usize,
     /// Cached §4 calling card of the *current* working set; invalidated
     /// whenever a delivery gains symbols.
     card: Option<MinwiseSketch>,
@@ -250,6 +256,10 @@ struct NodeState {
     seeder: bool,
     start_distinct: usize,
     start_remaining: usize,
+    /// Live links sourced at this node, in creation order.
+    out_links: Vec<LinkId>,
+    /// Live links terminating at this node, in creation order.
+    in_links: Vec<LinkId>,
 }
 
 impl NodeState {
@@ -303,7 +313,6 @@ impl LinkSource<'_> {
 
 #[derive(Debug)]
 struct LinkState<'s> {
-    #[allow(dead_code)]
     from: NodeId,
     to: NodeId,
     source: LinkSource<'s>,
@@ -325,6 +334,46 @@ struct LinkState<'s> {
 /// sender seeds.
 const LOSS_SEED_SALT: u64 = 0x1055_1CD0;
 
+/// Why [`OverlayNet::try_connect`] refused to create a link. Both cases
+/// are wiring mistakes a topology builder wants surfaced, not silently
+/// absorbed: a self-loop moves nothing, and a second live strategy link
+/// over the same directed pair double-spends the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// `from == to`: a link needs two distinct endpoints.
+    SelfLoop {
+        /// The node that was asked to connect to itself.
+        node: NodeId,
+    },
+    /// A live strategy link `from → to` already exists. Disconnect it
+    /// first (a reconnect *is* disconnect + connect — that is how
+    /// handshakes and sender inventories refresh).
+    DuplicateLink {
+        /// Source of the existing live link.
+        from: NodeId,
+        /// Destination of the existing live link.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::SelfLoop { node } => {
+                write!(f, "self-loop: node {} cannot connect to itself", node.0)
+            }
+            ConnectError::DuplicateLink { from, to } => write!(
+                f,
+                "duplicate directed link {} -> {}: a live strategy link already \
+                 connects this pair (disconnect it to re-handshake)",
+                from.0, to.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
 /// The discrete-event overlay network runtime. See the module docs for
 /// the model; see `run_transfer`/`run_with_migration` in
 /// [`crate::transfer`]/[`crate::churn`] for the four legacy presets and
@@ -339,9 +388,20 @@ pub struct OverlayNet<'s> {
     nodes: Vec<NodeState>,
     links: Vec<LinkState<'s>>,
     queue: BinaryHeap<Reverse<Event>>,
+    /// The send calendar: one `(next_send, link index)` entry per live,
+    /// non-exhausted link. Popping in `(time, index)` order reproduces
+    /// the legacy "scan links in creation order" tick semantics without
+    /// touching idle, exhausted, or dead links — the thousand-node fast
+    /// path. Entries for torn-down links are purged lazily.
+    send_queue: BinaryHeap<Reverse<(Time, u32)>>,
     seq: u64,
     now: Time,
     events_processed: u64,
+    /// Observers registered (completion needs at least one).
+    observer_count: usize,
+    /// Observers still short of their target; completion is this
+    /// reaching zero — O(1) per delivery instead of an O(nodes) scan.
+    incomplete_observers: usize,
     scratch: PacketScratch,
     family: PermutationFamily,
     registry: &'static SummaryRegistry,
@@ -360,9 +420,12 @@ impl<'s> OverlayNet<'s> {
             nodes: Vec::new(),
             links: Vec::new(),
             queue: BinaryHeap::new(),
+            send_queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
             events_processed: 0,
+            observer_count: 0,
+            incomplete_observers: 0,
             scratch: PacketScratch::new(),
             family: standard_family(),
             registry: icd_recon::shared_registry(),
@@ -392,10 +455,13 @@ impl<'s> OverlayNet<'s> {
             start_distinct: receiver.distinct_symbols(),
             start_remaining: receiver.remaining(),
             inventory: inventory.to_vec(),
+            advertised: receiver.distinct_symbols(),
             card: None,
             observer: false,
             seeder: false,
             receiver,
+            out_links: Vec::new(),
+            in_links: Vec::new(),
         });
         id
     }
@@ -411,10 +477,13 @@ impl<'s> OverlayNet<'s> {
             start_distinct: inventory.len(),
             start_remaining: 0,
             inventory: inventory.to_vec(),
+            advertised: inventory.len(),
             card: None,
             observer: false,
             seeder: true,
             receiver: Receiver::new(&[], 0),
+            out_links: Vec::new(),
+            in_links: Vec::new(),
         });
         id
     }
@@ -429,10 +498,13 @@ impl<'s> OverlayNet<'s> {
             start_distinct: receiver.distinct_symbols(),
             start_remaining: receiver.remaining(),
             inventory: receiver.working_set(),
+            advertised: receiver.distinct_symbols(),
             card: None,
             observer: false,
             seeder: false,
             receiver,
+            out_links: Vec::new(),
+            in_links: Vec::new(),
         });
         id
     }
@@ -440,20 +512,42 @@ impl<'s> OverlayNet<'s> {
     /// Moves a node's receiver back out (leaving an empty shell). The
     /// node must not be used afterwards.
     pub fn take_node_receiver(&mut self, node: NodeId) -> Receiver {
-        std::mem::replace(&mut self.nodes[node.0].receiver, Receiver::new(&[], 0))
+        let state = &mut self.nodes[node.0];
+        if state.observer && !state.receiver.is_complete() {
+            // The empty shell is trivially complete; keep the counter
+            // honest in case the caller ignores "must not be used".
+            self.incomplete_observers -= 1;
+        }
+        std::mem::replace(&mut state.receiver, Receiver::new(&[], 0))
     }
 
     /// Marks `node` as an observer: [`OverlayNet::run`] returns
     /// [`StopReason::Completed`] once *all* observers reach their
     /// targets.
     pub fn set_observer(&mut self, node: NodeId, on: bool) {
-        self.nodes[node.0].observer = on;
+        let state = &mut self.nodes[node.0];
+        if state.observer == on {
+            return;
+        }
+        state.observer = on;
+        let incomplete = !state.receiver.is_complete();
+        if on {
+            self.observer_count += 1;
+            self.incomplete_observers += usize::from(incomplete);
+        } else {
+            self.observer_count -= 1;
+            self.incomplete_observers -= usize::from(incomplete);
+        }
     }
 
     /// Connects `from → to` running `strategy`. The handshake (digest +
     /// sketch, per the strategy's needs) is derived from `to`'s
     /// *current* working set unless `spec` carries one; the sender pumps
-    /// over `from`'s construction-time inventory snapshot.
+    /// over `from`'s advertised inventory, refreshed at connect time
+    /// (see [`OverlayNet::refresh_inventory`]).
+    ///
+    /// Panics on a wiring error ([`ConnectError`]); topology builders
+    /// that want the error instead use [`OverlayNet::try_connect`].
     pub fn connect(
         &mut self,
         from: NodeId,
@@ -462,7 +556,31 @@ impl<'s> OverlayNet<'s> {
         params: Link,
         spec: ConnectSpec,
     ) -> LinkId {
-        assert!(from != to, "a link needs two distinct nodes");
+        self.try_connect(from, to, strategy, params, spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`OverlayNet::connect`] returning a descriptive [`ConnectError`]
+    /// instead of panicking on self-loops and duplicate directed links —
+    /// the form randomized topology builders drive.
+    pub fn try_connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        strategy: StrategyKind,
+        params: Link,
+        spec: ConnectSpec,
+    ) -> Result<LinkId, ConnectError> {
+        if from == to {
+            return Err(ConnectError::SelfLoop { node: from });
+        }
+        if self.nodes[from.0].out_links.iter().any(|&l| {
+            let link = &self.links[l.0];
+            link.alive && link.to == to && matches!(link.source, LinkSource::Strategy(_))
+        }) {
+            return Err(ConnectError::DuplicateLink { from, to });
+        }
+        self.refresh_inventory(from);
         let hint = spec
             .request_hint
             .unwrap_or_else(|| self.nodes[to.0].receiver.remaining());
@@ -488,7 +606,43 @@ impl<'s> OverlayNet<'s> {
         );
         let summary = handshake.summary.as_ref().map(|(id, _)| *id);
         let handshake_bytes = handshake.summary_bytes();
-        self.install_link(from, to, LinkSource::Strategy(sender), params, false, summary, handshake_bytes)
+        Ok(self.install_link(
+            from,
+            to,
+            LinkSource::Strategy(sender),
+            params,
+            false,
+            summary,
+            handshake_bytes,
+        ))
+    }
+
+    /// Refreshes `node`'s advertised inventory from its live working
+    /// set: symbols gained since the last connection are appended in
+    /// sorted order. Called automatically on every (re)connect — §6.1
+    /// freezes inventories *during* a connection, not across them, so a
+    /// rejoining peer advertises everything it picked up in between.
+    /// Returns the number of symbols newly advertised.
+    pub fn refresh_inventory(&mut self, node: NodeId) -> usize {
+        let state = &mut self.nodes[node.0];
+        if state.seeder {
+            return 0; // static inventory is the working set
+        }
+        let distinct = state.receiver.distinct_symbols();
+        if distinct <= state.advertised {
+            return 0; // nothing gained since the last refresh
+        }
+        let have: icd_util::hash::FastHashSet<SymbolId> =
+            state.inventory.iter().copied().collect();
+        let mut added = 0;
+        for id in state.receiver.working_set() {
+            if !have.contains(&id) {
+                state.inventory.push(id);
+                added += 1;
+            }
+        }
+        state.advertised = distinct;
+        added
     }
 
     /// Connects a digital-fountain full sender `from → to` (counts in
@@ -514,7 +668,26 @@ impl<'s> OverlayNet<'s> {
     /// Tears a link down. Packets already in flight on it are dropped;
     /// its transmit counters keep contributing to the net totals.
     pub fn disconnect(&mut self, link: LinkId) {
-        self.links[link.0].alive = false;
+        let state = &mut self.links[link.0];
+        if !state.alive {
+            return;
+        }
+        state.alive = false;
+        let (from, to) = (state.from, state.to);
+        self.nodes[from.0].out_links.retain(|&l| l != link);
+        self.nodes[to.0].in_links.retain(|&l| l != link);
+        // The link's send-calendar entry is purged lazily.
+    }
+
+    /// Tears down every live link touching `node` (both directions) —
+    /// how a membership layer expresses a peer departure.
+    pub fn disconnect_node(&mut self, node: NodeId) {
+        while let Some(&l) = self.nodes[node.0].out_links.last() {
+            self.disconnect(l);
+        }
+        while let Some(&l) = self.nodes[node.0].in_links.last() {
+            self.disconnect(l);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -534,11 +707,13 @@ impl<'s> OverlayNet<'s> {
             "link loss must be in [0, 1)"
         );
         assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "unknown node");
+        assert!(from != to, "a link needs two distinct nodes");
         assert!(
             !self.nodes[to.0].seeder,
             "seeder nodes are upload-only; add the destination with add_node"
         );
         let id = LinkId(self.links.len());
+        let next_send = self.now + 1;
         self.links.push(LinkState {
             from,
             to,
@@ -547,7 +722,7 @@ impl<'s> OverlayNet<'s> {
             loss_rng: Xoshiro256StarStar::new(mix64(
                 self.seed ^ LOSS_SEED_SALT ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             )),
-            next_send: self.now + 1,
+            next_send,
             alive: true,
             exhausted: false,
             full,
@@ -557,6 +732,9 @@ impl<'s> OverlayNet<'s> {
             summary,
             handshake_bytes,
         });
+        self.nodes[from.0].out_links.push(id);
+        self.nodes[to.0].in_links.push(id);
+        self.send_queue.push(Reverse((next_send, id.0 as u32)));
         id
     }
 
@@ -655,23 +833,29 @@ impl<'s> OverlayNet<'s> {
     // ------------------------------------------------------------------
 
     /// The earliest tick at which anything can happen: the minimum over
-    /// live, non-exhausted links' send cadences and the head of the
-    /// in-flight packet queue. `None` means the net is permanently
-    /// quiescent.
-    fn next_tick(&self) -> Option<Time> {
-        let mut next: Option<Time> = self
-            .queue
-            .peek()
-            .map(|Reverse(event)| event.time);
-        for link in &self.links {
-            if link.alive && !link.exhausted {
-                next = Some(match next {
-                    Some(t) => t.min(link.next_send),
-                    None => link.next_send,
-                });
+    /// the send calendar's live entries and the head of the in-flight
+    /// packet queue. `None` means the net is permanently quiescent.
+    /// Stale calendar entries (torn-down or exhausted links) are purged
+    /// from the head here, so the answer is exact — O(1) amortized
+    /// against the linear link scan this replaced.
+    fn next_tick(&mut self) -> Option<Time> {
+        let send = loop {
+            match self.send_queue.peek() {
+                None => break None,
+                Some(&Reverse((t, i))) => {
+                    let link = &self.links[i as usize];
+                    if link.alive && !link.exhausted {
+                        break Some(t);
+                    }
+                    self.send_queue.pop();
+                }
             }
+        };
+        let arrival = self.queue.peek().map(|Reverse(event)| event.time);
+        match (send, arrival) {
+            (Some(s), Some(a)) => Some(s.min(a)),
+            (s, a) => s.or(a),
         }
-        next
     }
 
     /// Runs the event loop until completion, stall, pause, or the tick
@@ -680,8 +864,8 @@ impl<'s> OverlayNet<'s> {
     ///
     /// Within a tick, in-flight arrivals land first (in `(time, seq)`
     /// order), then links take their send opportunities in link order —
-    /// which is exactly the order send events would have carried, since
-    /// links are scanned as they were created.
+    /// the calendar pops due links by `(time, link index)`, which is
+    /// exactly the order the legacy per-tick link scan visited them.
     pub fn run(&mut self, limit: RunLimit) -> StopReason {
         if self.observers_complete() {
             return StopReason::Completed;
@@ -719,17 +903,21 @@ impl<'s> OverlayNet<'s> {
                     return reason;
                 }
             }
-            // Send opportunities in link-creation order.
-            for i in 0..self.links.len() {
-                let due = {
-                    let link = &self.links[i];
-                    link.alive && !link.exhausted && link.next_send == t
-                };
-                if due {
-                    self.events_processed += 1;
-                    if let Some(reason) = self.process_send(LinkId(i)) {
-                        return reason;
-                    }
+            // Send opportunities in link-creation order: the calendar
+            // yields due links by (time, index); entries for dead or
+            // exhausted links are skipped as they surface.
+            while let Some(&Reverse((due, i))) = self.send_queue.peek() {
+                if due > t {
+                    break;
+                }
+                self.send_queue.pop();
+                let link = &self.links[i as usize];
+                if !link.alive || link.exhausted {
+                    continue;
+                }
+                self.events_processed += 1;
+                if let Some(reason) = self.process_send(LinkId(i as usize)) {
+                    return reason;
                 }
             }
         }
@@ -740,24 +928,31 @@ impl<'s> OverlayNet<'s> {
         let link = &mut self.links[l.0];
         if !link.source.next_packet_into(scratch) {
             link.exhausted = true;
-            return None;
+            return None; // its calendar entry was just popped; none re-added
         }
         link.packets_sent += 1;
         link.next_send = self.now + link.params.interval;
+        let next_send = link.next_send;
+        let latency = link.params.latency;
         let lost = link.params.loss > 0.0 && {
             let draw = (link.loss_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
             draw < link.params.loss
         };
         if lost {
             link.packets_lost += 1;
+        }
+        // Re-book the send cadence before delivery so an early Completed
+        // return leaves the calendar consistent for resumed runs.
+        self.send_queue.push(Reverse((next_send, l.0 as u32)));
+        if lost {
             return None;
         }
-        if link.params.latency == 0 {
+        if latency == 0 {
             self.deliver_scratch(l)
         } else {
-            let arrival_time = self.now + link.params.latency;
-            let ids = scratch.ids().to_vec();
-            let recoded = scratch.is_recoded();
+            let arrival_time = self.now + latency;
+            let ids = self.scratch.ids().to_vec();
+            let recoded = self.scratch.is_recoded();
             self.schedule_arrival(arrival_time, l, recoded, ids);
             None
         }
@@ -770,11 +965,12 @@ impl<'s> OverlayNet<'s> {
         let to = link.to;
         let node = &mut self.nodes[to.0];
         debug_assert!(!node.seeder, "seeder nodes cannot be link destinations");
+        let was_complete = node.receiver.is_complete();
         let gained = node.receiver.receive_scratch(&self.scratch);
         if gained > 0 {
             node.card = None;
         }
-        self.completion_after_delivery(to)
+        self.completion_after_delivery(to, was_complete)
     }
 
     fn process_arrival(&mut self, l: LinkId, recoded: bool, ids: Vec<SymbolId>) -> Option<StopReason> {
@@ -785,6 +981,7 @@ impl<'s> OverlayNet<'s> {
         link.packets_delivered += 1;
         let to = link.to;
         let node = &mut self.nodes[to.0];
+        let was_complete = node.receiver.is_complete();
         let gained = if recoded {
             // The event owns its component list; no copy on delivery.
             node.receiver.receive(&Packet::Recoded(ids))
@@ -794,29 +991,25 @@ impl<'s> OverlayNet<'s> {
         if gained > 0 {
             node.card = None;
         }
-        self.completion_after_delivery(to)
+        self.completion_after_delivery(to, was_complete)
     }
 
-    fn completion_after_delivery(&self, to: NodeId) -> Option<StopReason> {
+    /// O(1) completion bookkeeping: a delivery can only finish the net
+    /// by completing a previously-incomplete observer, so the counter
+    /// moves exactly on that transition.
+    fn completion_after_delivery(&mut self, to: NodeId, was_complete: bool) -> Option<StopReason> {
         let node = &self.nodes[to.0];
-        if node.observer && node.receiver.is_complete() && self.observers_complete() {
-            Some(StopReason::Completed)
-        } else {
-            None
+        if node.observer && !was_complete && node.receiver.is_complete() {
+            self.incomplete_observers -= 1;
+            if self.observers_complete() {
+                return Some(StopReason::Completed);
+            }
         }
+        None
     }
 
     fn observers_complete(&self) -> bool {
-        let mut any = false;
-        for n in &self.nodes {
-            if n.observer {
-                any = true;
-                if !n.receiver.is_complete() {
-                    return false;
-                }
-            }
-        }
-        any
+        self.observer_count > 0 && self.incomplete_observers == 0
     }
 
     // ------------------------------------------------------------------
@@ -901,6 +1094,37 @@ impl<'s> OverlayNet<'s> {
     #[must_use]
     pub fn link_exhausted(&self, l: LinkId) -> bool {
         self.links[l.0].exhausted
+    }
+
+    /// Whether link `l` is still connected.
+    #[must_use]
+    pub fn link_alive(&self, l: LinkId) -> bool {
+        self.links[l.0].alive
+    }
+
+    /// Link `l`'s `(source, destination)` nodes.
+    #[must_use]
+    pub fn link_ends(&self, l: LinkId) -> (NodeId, NodeId) {
+        let link = &self.links[l.0];
+        (link.from, link.to)
+    }
+
+    /// Live links sourced at `n`, in creation order.
+    #[must_use]
+    pub fn node_out_links(&self, n: NodeId) -> &[LinkId] {
+        &self.nodes[n.0].out_links
+    }
+
+    /// Live links terminating at `n`, in creation order.
+    #[must_use]
+    pub fn node_in_links(&self, n: NodeId) -> &[LinkId] {
+        &self.nodes[n.0].in_links
+    }
+
+    /// Number of nodes ever added.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// The legacy-shaped outcome for one node: net-wide packet totals,
@@ -1297,6 +1521,100 @@ mod tests {
         assert_eq!(net.run(RunLimit::ticks(17)), StopReason::MaxTicks);
         assert_eq!(net.now(), 17);
         assert_eq!(net.packets_from_full(), 17);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut net = OverlayNet::new(30);
+        let a = net.add_node(&[1, 2], 4);
+        let err = net
+            .try_connect(a, a, StrategyKind::Random, Link::default(), ConnectSpec::seeded(1))
+            .expect_err("self-loop must be rejected");
+        assert_eq!(err, ConnectError::SelfLoop { node: a });
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn duplicate_directed_links_are_rejected_until_disconnected() {
+        let mut net = OverlayNet::new(31);
+        let r = net.add_node(&[9], 4);
+        let s = net.add_node(&[1, 2, 3, 4], 4);
+        let l = net.connect(s, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(1));
+        let err = net
+            .try_connect(s, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(2))
+            .expect_err("second live link over the same pair");
+        assert_eq!(err, ConnectError::DuplicateLink { from: s, to: r });
+        assert!(err.to_string().contains("duplicate directed link"));
+        // The reverse direction is a different directed pair.
+        assert!(net
+            .try_connect(r, s, StrategyKind::Random, Link::default(), ConnectSpec::seeded(3))
+            .is_ok());
+        // Reconnecting after a teardown is the refresh path, not a dup.
+        net.disconnect(l);
+        assert!(net
+            .try_connect(s, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(4))
+            .is_ok());
+    }
+
+    #[test]
+    fn node_link_lists_track_topology() {
+        let mut net = OverlayNet::new(32);
+        let a = net.add_node(&[1], 2);
+        let b = net.add_node(&[2], 2);
+        let c = net.add_node(&[3], 2);
+        let ab = net.connect(a, b, StrategyKind::Random, Link::default(), ConnectSpec::seeded(1));
+        let cb = net.connect(c, b, StrategyKind::Random, Link::default(), ConnectSpec::seeded(2));
+        let bc = net.connect(b, c, StrategyKind::Random, Link::default(), ConnectSpec::seeded(3));
+        assert_eq!(net.node_in_links(b), &[ab, cb]);
+        assert_eq!(net.node_out_links(b), &[bc]);
+        assert_eq!(net.link_ends(cb), (c, b));
+        net.disconnect_node(b);
+        assert!(net.node_in_links(b).is_empty());
+        assert!(net.node_out_links(b).is_empty());
+        assert!(!net.link_alive(ab) && !net.link_alive(cb) && !net.link_alive(bc));
+        assert!(net.node_out_links(a).is_empty(), "peer lists pruned too");
+    }
+
+    #[test]
+    fn rejoining_sender_advertises_symbols_gained_since_first_connection() {
+        // The §6.1 refresh-on-reconnect regression: S first connects to R
+        // knowing only {1}; S then learns {2, 3} from a seeder; a fresh
+        // S→R connection must advertise the gained symbols. Under the old
+        // snapshot-at-add inventory, R could never complete.
+        let strategy = StrategyKind::RandomSummary(SummaryId::BLOOM);
+        let mut net = OverlayNet::new(33);
+        let r = net.add_node(&[], 3);
+        net.set_observer(r, true);
+        let s = net.add_node(&[1], 3);
+        let seeder = net.add_seeder(&[2, 3]);
+        let first = net.connect(s, r, strategy, Link::default(), ConnectSpec::seeded(1));
+        // Phase 1: S offers its snapshot {1}, exhausts, and the net
+        // stalls with R stuck at one symbol.
+        assert_eq!(net.run(RunLimit::ticks(1_000)), StopReason::Stalled);
+        assert_eq!(net.node_distinct(r), 1);
+        // Phase 2: S gains {2, 3} from the seeder.
+        net.connect(seeder, s, strategy, Link::default(), ConnectSpec::seeded(2));
+        assert_eq!(net.run(RunLimit::ticks(1_000)), StopReason::Stalled);
+        assert_eq!(net.node_distinct(s), 3);
+        // Phase 3: the rejoined connection advertises the refreshed
+        // inventory and R completes.
+        net.disconnect(first);
+        net.connect(s, r, strategy, Link::default(), ConnectSpec::seeded(3));
+        assert_eq!(net.run(RunLimit::ticks(1_000)), StopReason::Completed);
+        assert_eq!(net.node_distinct(r), 3);
+    }
+
+    #[test]
+    fn refresh_inventory_reports_gains_once() {
+        let mut net = OverlayNet::new(34);
+        let s = net.add_node(&[1], 4);
+        let seeder = net.add_seeder(&[2, 3, 4]);
+        net.connect_full(seeder, s, 0, Link::default());
+        let _ = net.run(RunLimit::ticks(10));
+        assert!(net.node_distinct(s) > 1);
+        let gained = net.node_distinct(s) - 1;
+        assert_eq!(net.refresh_inventory(s), gained);
+        assert_eq!(net.refresh_inventory(s), 0, "second refresh is a no-op");
     }
 
     #[test]

@@ -1,0 +1,724 @@
+//! The swarm driver: a generated topology plus a membership event
+//! stream, interleaved deterministically over one live
+//! [`OverlayNet`] via its `run`/pause/rewire/resume API.
+//!
+//! The §6 evaluation runs one receiver against hand-picked senders; the
+//! paper's *setting* is a swarm — every peer simultaneously downloads
+//! from and uploads to its neighbors while the roster itself churns.
+//! [`Swarm::run`] reproduces exactly that regime:
+//!
+//! * every peer is an engine node with a partial working set and the
+//!   shared completion target; every topology edge becomes (up to) two
+//!   directed reconciliation links with per-link seeded senders;
+//! * the membership schedule ([`crate::membership::churn_plan`]) fires
+//!   at exact engine ticks: the run pauses, the event mutates the
+//!   topology (joins, leaves, rejoins, single-link rewires), the clock
+//!   resumes — the engine's event order makes the whole thing a pure
+//!   function of the config and seed;
+//! * connections are *refreshed*, never updated in place: an exhausted
+//!   link is torn down and re-handshaken against the receiver's current
+//!   set (and, via the engine's refresh-on-connect, the sender's
+//!   current inventory) on the maintenance cadence — §6.1's one-shot
+//!   summaries at per-connection granularity, re-aimed between
+//!   connections exactly as §6.1 prescribes;
+//! * incomplete peers whose senders all departed re-attach to live
+//!   peers (the self-healing behaviour an adaptive overlay needs to
+//!   survive churn at all).
+
+use icd_overlay::net::{ConnectSpec, Link, NodeId, OverlayNet, RunLimit, StopReason, Time};
+use icd_overlay::scenario::ScenarioParams;
+use icd_overlay::strategy::StrategyKind;
+use icd_overlay::SymbolId;
+use icd_summary::SummaryId;
+use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+use crate::membership::{churn_plan, ChurnConfig, PeerId, SwarmEvent};
+use crate::topology::{build_topology, TopologyKind};
+
+/// How link strategies are chosen when a connection is (re)built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwarmStrategy {
+    /// Every link runs the same strategy.
+    Fixed(StrategyKind),
+    /// Every link asks the engine's registry cost advisors, from the
+    /// two endpoints' calling cards (§4); `recode` picks the
+    /// Recode/summary family over Random/summary.
+    Advised {
+        /// Prefer the recoded informed family.
+        recode: bool,
+    },
+}
+
+/// Configuration of one swarm run. Build with [`SwarmConfig::new`] and
+/// override fields as needed; every run is a pure function of
+/// `(config, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwarmConfig {
+    /// Initial roster size (including [`SwarmConfig::seed_peers`]).
+    pub peers: usize,
+    /// Overlay shape wired at start-up.
+    pub topology: TopologyKind,
+    /// Source blocks `n` of the shared file (the §6.3 geometry knob).
+    pub blocks: usize,
+    /// Distinct symbols in the system as a multiple of `blocks`.
+    pub distinct_factor: f64,
+    /// Constant decoding-overhead assumption (paper: 0.07).
+    pub decode_overhead: f64,
+    /// Fraction of the symbol pool each ordinary peer starts with.
+    pub init_fraction: f64,
+    /// Peers 0..seed_peers hold the full pool (and therefore start
+    /// complete); they anchor coverage and never leave.
+    pub seed_peers: usize,
+    /// Links a joining or re-attaching peer establishes.
+    pub attach_degree: usize,
+    /// Link strategy policy.
+    pub strategy: SwarmStrategy,
+    /// Rate/latency/loss profiles cycled over connections in creation
+    /// order — heterogeneous peer bandwidths, the adaptive-overlay
+    /// regime where most links are idle on most ticks.
+    pub link_profiles: Vec<Link>,
+    /// Membership churn schedule parameters.
+    pub churn: ChurnConfig,
+    /// Ticks between connection-maintenance passes (exhausted links are
+    /// re-handshaken; orphaned incomplete peers re-attach).
+    pub refresh_interval: Time,
+    /// Engine tick budget.
+    pub max_ticks: Time,
+}
+
+impl SwarmConfig {
+    /// A swarm of `peers` nodes over `topology` sharing a
+    /// `blocks`-block file, with the §6.3 compact geometry, no churn,
+    /// and Random/BF links.
+    #[must_use]
+    pub fn new(peers: usize, blocks: usize, topology: TopologyKind) -> Self {
+        Self {
+            peers,
+            topology,
+            blocks,
+            distinct_factor: 1.1,
+            decode_overhead: 0.07,
+            init_fraction: 0.5,
+            seed_peers: 2,
+            attach_degree: 2,
+            strategy: SwarmStrategy::Fixed(StrategyKind::RandomSummary(SummaryId::BLOOM)),
+            link_profiles: vec![Link::default()],
+            churn: ChurnConfig::none(),
+            refresh_interval: 20,
+            max_ticks: blocks as Time * 50 + 10_000,
+        }
+    }
+
+    /// Replaces the churn schedule.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Replaces the link strategy policy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SwarmStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the link rate/latency/loss profiles (cycled over
+    /// connections in creation order). Panics if `profiles` is empty.
+    #[must_use]
+    pub fn with_link_profiles(mut self, profiles: Vec<Link>) -> Self {
+        assert!(!profiles.is_empty(), "need at least one link profile");
+        self.link_profiles = profiles;
+        self
+    }
+}
+
+/// What a [`Swarm::run`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwarmOutcome {
+    /// Final roster size (initial peers + joins).
+    pub peers: usize,
+    /// Peers at their completion target when the run stopped.
+    pub completed: usize,
+    /// Engine ticks elapsed.
+    pub ticks: Time,
+    /// Engine events processed (the `swarm_events_per_s` numerator).
+    pub events: u64,
+    /// Packets emitted by reconciliation links.
+    pub packets: u64,
+    /// Packets per needed symbol, summed over the whole roster — the
+    /// figure-5 overhead metric at swarm scale.
+    pub overhead: f64,
+    /// Join events applied.
+    pub joins: u32,
+    /// Leave events applied.
+    pub leaves: u32,
+    /// Rejoin events applied.
+    pub rejoins: u32,
+    /// Rewire events applied.
+    pub rewires: u32,
+    /// Exhausted links re-handshaken by maintenance passes.
+    pub reconnects: u64,
+    /// Scheduled membership events that never fired because the swarm
+    /// finished (or gave up) first — the download session disbands at
+    /// all-nodes-complete, so a churn window stretching past that tick
+    /// is visible here instead of silently shrinking the counters.
+    pub unapplied_events: u32,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+impl SwarmOutcome {
+    /// Whether every peer (joiners included) reached the target.
+    #[must_use]
+    pub fn all_complete(&self) -> bool {
+        self.completed == self.peers
+    }
+
+    /// Total membership events applied.
+    #[must_use]
+    pub fn membership_events(&self) -> u32 {
+        self.joins + self.leaves + self.rejoins + self.rewires
+    }
+}
+
+#[derive(Debug)]
+struct Peer {
+    node: NodeId,
+    present: bool,
+    /// Distinct count at the last maintenance pass — the stagnation
+    /// detector that triggers re-reconciliation.
+    last_distinct: usize,
+    /// Consecutive stagnant passes: widens the sender search
+    /// exponentially, so a peer missing a *rare* symbol sweeps the
+    /// roster instead of resampling two neighbors forever.
+    starved: u32,
+}
+
+/// A live swarm: an [`OverlayNet`] plus the roster, schedule, and
+/// seeded streams that drive it. See the module docs for the model.
+#[derive(Debug)]
+pub struct Swarm {
+    cfg: SwarmConfig,
+    net: OverlayNet<'static>,
+    peers: Vec<Peer>,
+    pool: Vec<SymbolId>,
+    target: usize,
+    schedule: Vec<(Time, SwarmEvent)>,
+    next_event: usize,
+    /// Per-link sender seeds (one stream for the whole swarm lifetime).
+    link_seeds: SplitMix64,
+    /// Membership sampling (join inventories, attachment choices).
+    rng: Xoshiro256StarStar,
+    total_needed: u64,
+    joins: u32,
+    leaves: u32,
+    rejoins: u32,
+    rewires: u32,
+    reconnects: u64,
+    /// Connections ever created (cycles the link profiles).
+    links_created: usize,
+}
+
+/// Consecutive stagnant maintenance passes after which rebuilt links
+/// escalate to oblivious recoding and the seed peers are adopted
+/// directly (the origin-server fallback).
+const LAST_RESORT_STARVATION: u32 = 3;
+
+/// Salts separating the swarm's seeded streams.
+const POOL_SEED_SALT: u64 = 0x5EED_0001;
+const LINK_SEED_SALT: u64 = 0x5EED_0002;
+const MEMBER_SEED_SALT: u64 = 0x5EED_0003;
+
+impl Swarm {
+    /// Builds the initial swarm: symbol pool, per-peer inventories,
+    /// engine nodes, and the generated topology's links. Deterministic
+    /// in `(cfg, seed)`.
+    #[must_use]
+    pub fn new(cfg: SwarmConfig, seed: u64) -> Self {
+        assert!(cfg.peers >= 3, "a swarm needs at least 3 peers");
+        assert!(cfg.seed_peers >= 1, "need at least one full seed peer");
+        assert!(cfg.seed_peers < cfg.peers, "roster must exceed seed peers");
+        assert!(
+            (0.0..=1.0).contains(&cfg.init_fraction),
+            "init fraction must be in [0, 1]"
+        );
+        let params = ScenarioParams {
+            num_blocks: cfg.blocks,
+            distinct_factor: cfg.distinct_factor,
+            decode_overhead: cfg.decode_overhead,
+            seed: icd_util::hash::mix64(seed ^ POOL_SEED_SALT),
+        };
+        let pool = params.symbol_ids(params.distinct_symbols());
+        let target = params.target();
+        assert!(target <= pool.len(), "target exceeds the symbol pool");
+
+        let mut swarm = Self {
+            net: OverlayNet::new(seed),
+            peers: Vec::with_capacity(cfg.peers),
+            schedule: churn_plan(&cfg.churn, cfg.peers, cfg.seed_peers, seed),
+            next_event: 0,
+            link_seeds: SplitMix64::new(icd_util::hash::mix64(seed ^ LINK_SEED_SALT)),
+            rng: Xoshiro256StarStar::new(icd_util::hash::mix64(seed ^ MEMBER_SEED_SALT)),
+            total_needed: 0,
+            joins: 0,
+            leaves: 0,
+            rejoins: 0,
+            rewires: 0,
+            reconnects: 0,
+            links_created: 0,
+            pool,
+            target,
+            cfg,
+        };
+        for p in 0..swarm.cfg.peers {
+            swarm.add_peer(p < swarm.cfg.seed_peers, p);
+        }
+        let topology = build_topology(swarm.cfg.topology, swarm.cfg.peers, seed);
+        for &(a, b) in &topology.edges {
+            swarm.connect_pair(a, b);
+            swarm.connect_pair(b, a);
+        }
+        swarm
+    }
+
+    /// The shared completion target (distinct symbols per peer).
+    #[must_use]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Current roster size (initial peers + joins so far).
+    #[must_use]
+    pub fn roster(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Adds a peer to the roster: full pool for seeds, otherwise the
+    /// coverage share (symbol `j` is anchored at ordinary peer
+    /// `j mod (initial ordinary peers)`) plus a seeded random sample up
+    /// to the configured fraction. `salt` keeps join inventories
+    /// distinct from the initial roster's.
+    fn add_peer(&mut self, is_seed: bool, salt: usize) -> PeerId {
+        let inventory = if is_seed {
+            self.pool.clone()
+        } else {
+            self.sample_inventory(salt)
+        };
+        let node = self.net.add_node(&inventory, self.target);
+        self.net.set_observer(node, true);
+        self.total_needed += self.net.node_remaining(node) as u64;
+        self.peers.push(Peer {
+            node,
+            present: true,
+            last_distinct: self.net.node_distinct(node),
+            starved: 0,
+        });
+        self.peers.len() - 1
+    }
+
+    fn sample_inventory(&mut self, salt: usize) -> Vec<SymbolId> {
+        let want = ((self.cfg.init_fraction * self.pool.len() as f64).round() as usize)
+            .clamp(1, self.pool.len());
+        let ordinary = self.cfg.peers - self.cfg.seed_peers;
+        let mut set: Vec<SymbolId> = Vec::with_capacity(want + self.pool.len() / ordinary + 1);
+        // Coverage anchor: every symbol lives at some ordinary peer even
+        // if no random draw picks it, so the swarm's union always spans
+        // the pool regardless of seed-peer placement.
+        if salt >= self.cfg.seed_peers && salt < self.cfg.peers {
+            let anchor = salt - self.cfg.seed_peers;
+            for (j, &id) in self.pool.iter().enumerate() {
+                if j % ordinary == anchor {
+                    set.push(id);
+                }
+            }
+        }
+        let mut have: icd_util::hash::FastHashSet<SymbolId> = set.iter().copied().collect();
+        for idx in self.rng.sample_distinct(self.pool.len(), want) {
+            let id = self.pool[idx];
+            if have.insert(id) {
+                set.push(id);
+            }
+        }
+        set
+    }
+
+    /// `starved` is the destination peer's consecutive-stagnant-pass
+    /// count; it escalates the strategy ladder described at
+    /// [`Swarm::refresh_pass`].
+    fn link_strategy(&mut self, from: NodeId, to: NodeId, starved: u32) -> StrategyKind {
+        // Digest-driven links can wedge on a withheld symbol: a Bloom
+        // false positive (stable across re-handshakes of the same set)
+        // or an exact digest sized below the true difference withholds
+        // it on *every* connection. Oblivious recoding over the whole
+        // working set is the paper's own FP-proof fallback (§5.2/§6.2):
+        // the withheld symbol rides out XORed with known ones.
+        if starved >= LAST_RESORT_STARVATION {
+            return StrategyKind::Recode;
+        }
+        match self.cfg.strategy {
+            SwarmStrategy::Fixed(kind) => kind,
+            // Advisors size mechanisms from sketch *estimates*; when a
+            // peer stops gaining, the estimate was wrong. Stagnation
+            // rebuilds fall back to the always-decodable Bloom family.
+            SwarmStrategy::Advised { recode } if starved >= 1 => {
+                if recode {
+                    StrategyKind::RecodeSummary(SummaryId::BLOOM)
+                } else {
+                    StrategyKind::RandomSummary(SummaryId::BLOOM)
+                }
+            }
+            SwarmStrategy::Advised { recode } => {
+                self.net.advised_strategy(from, to, recode, 0.6, 0.15)
+            }
+        }
+    }
+
+    /// Connects `from → to` by roster index if `to` still needs symbols.
+    fn connect_pair(&mut self, from: PeerId, to: PeerId) {
+        let (f, t) = (self.peers[from].node, self.peers[to].node);
+        self.connect_nodes(f, t, 0);
+    }
+
+    fn connect_nodes(&mut self, from: NodeId, to: NodeId, starved: u32) -> bool {
+        if self.net.node_remaining(to) == 0 {
+            return false; // nothing to reconcile toward a complete peer
+        }
+        let strategy = self.link_strategy(from, to, starved);
+        let spec = ConnectSpec::seeded(self.link_seeds.next_u64());
+        let profile = self.cfg.link_profiles[self.links_created % self.cfg.link_profiles.len()];
+        self.links_created += 1;
+        self.net
+            .try_connect(from, to, strategy, profile, spec)
+            .is_ok()
+    }
+
+    /// Samples `count` distinct present peers other than `except`.
+    fn sample_present(&mut self, count: usize, except: PeerId) -> Vec<PeerId> {
+        let candidates: Vec<PeerId> = (0..self.peers.len())
+            .filter(|&p| p != except && self.peers[p].present)
+            .collect();
+        let take = count.min(candidates.len());
+        self.rng
+            .sample_distinct(candidates.len(), take)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect()
+    }
+
+    /// Attaches peer `p` to the live swarm: download links from
+    /// `attach_degree` sampled present peers, and upload links back to
+    /// the ones that still need symbols.
+    fn attach(&mut self, p: PeerId) {
+        for q in self.sample_present(self.cfg.attach_degree, p) {
+            self.connect_pair(q, p);
+            self.connect_pair(p, q);
+        }
+    }
+
+    fn apply_event(&mut self, event: SwarmEvent) {
+        match event {
+            SwarmEvent::Join => {
+                let salt = self.peers.len();
+                let p = self.add_peer(false, salt);
+                self.joins += 1;
+                self.attach(p);
+            }
+            SwarmEvent::Leave(p) => {
+                if self.peers[p].present {
+                    self.net.disconnect_node(self.peers[p].node);
+                    self.peers[p].present = false;
+                    self.leaves += 1;
+                }
+            }
+            SwarmEvent::Rejoin(p) => {
+                if !self.peers[p].present {
+                    self.peers[p].present = true;
+                    self.rejoins += 1;
+                    self.attach(p);
+                }
+            }
+            SwarmEvent::Rewire(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                let node = self.peers[p].node;
+                let ins = self.net.node_in_links(node);
+                if ins.is_empty() {
+                    return;
+                }
+                let victim = ins[self.rng.index(ins.len())];
+                self.net.disconnect(victim);
+                self.rewires += 1;
+                // Migrate to a present peer not already uploading to p,
+                // so the peer never nets a lost connection; the old
+                // sender stays eligible (the fresh link re-handshakes —
+                // a migration back is still a migration).
+                let existing: Vec<NodeId> = self
+                    .net
+                    .node_in_links(node)
+                    .iter()
+                    .map(|&l| self.net.link_ends(l).0)
+                    .collect();
+                let candidates: Vec<PeerId> = (0..self.peers.len())
+                    .filter(|&q| {
+                        q != p
+                            && self.peers[q].present
+                            && !existing.contains(&self.peers[q].node)
+                    })
+                    .collect();
+                if !candidates.is_empty() {
+                    let q = candidates[self.rng.index(candidates.len())];
+                    self.connect_pair(q, p);
+                }
+            }
+        }
+    }
+
+    /// One maintenance pass over every incomplete present peer:
+    /// exhausted inbound links are re-handshaken against the current
+    /// sets, and a peer whose distinct count did not grow since the
+    /// last pass (its senders are pumping nothing useful, or it lost
+    /// them all to churn) rebuilds *all* its inbound connections and
+    /// adopts fresh senders — the adaptive re-reconciliation round a
+    /// real swarm runs. Returns the number of links (re)built.
+    fn refresh_pass(&mut self) -> u64 {
+        let mut rebuilt = 0u64;
+        for p in 0..self.peers.len() {
+            if !self.peers[p].present {
+                continue;
+            }
+            let node = self.peers[p].node;
+            if self.net.node_complete(node) {
+                // Done downloading: release the upstream connections so
+                // never-exhausting senders stop pumping at a finished
+                // peer (its own uploads keep running).
+                for link in self.net.node_in_links(node).to_vec() {
+                    self.net.disconnect(link);
+                }
+                continue;
+            }
+            let distinct = self.net.node_distinct(node);
+            let stagnant = distinct == self.peers[p].last_distinct;
+            self.peers[p].last_distinct = distinct;
+            let starved = if stagnant { self.peers[p].starved + 1 } else { 0 };
+            self.peers[p].starved = starved;
+            let ins = self.net.node_in_links(node).to_vec();
+            for link in ins {
+                if stagnant || self.net.link_exhausted(link) {
+                    let (from, _) = self.net.link_ends(link);
+                    self.net.disconnect(link);
+                    rebuilt += u64::from(self.connect_nodes(from, node, starved));
+                }
+            }
+            if stagnant || self.net.node_in_links(node).is_empty() {
+                // Starved for fresh symbols: adopt additional senders,
+                // widening the search each consecutive dry pass so a
+                // rare symbol's holder is found in O(log roster) passes.
+                let width = self.cfg.attach_degree << starved.min(5);
+                let mut sources = self.sample_present(width, p);
+                if starved >= LAST_RESORT_STARVATION {
+                    // Origin fallback: the seed peers hold the full
+                    // pool, and their last-resort links recode over it.
+                    for s in 0..self.cfg.seed_peers {
+                        if self.peers[s].present && !sources.contains(&s) && s != p {
+                            sources.push(s);
+                        }
+                    }
+                }
+                for q in sources {
+                    rebuilt += u64::from(self.connect_nodes(self.peers[q].node, node, starved));
+                }
+            }
+        }
+        self.reconnects += rebuilt;
+        rebuilt
+    }
+
+    /// Drives the swarm to completion (every peer at target), stall, or
+    /// the tick budget, interleaving membership events and maintenance
+    /// passes with engine execution. Deterministic in `(cfg, seed)`.
+    ///
+    /// The download session disbands the moment every peer is complete:
+    /// membership events scheduled after that tick never fire (counted
+    /// in [`SwarmOutcome::unapplied_events`]) — a late joiner would be
+    /// joining a swarm that no longer exists.
+    pub fn run(&mut self) -> SwarmOutcome {
+        let mut next_refresh = self.cfg.refresh_interval.max(1);
+        let mut dry_stalls = 0u32;
+        let mut packets_at_stall = u64::MAX;
+        let stop = loop {
+            let pending = self.schedule.get(self.next_event).map(|&(t, _)| t);
+            let pause = pending.map_or(next_refresh, |t| t.min(next_refresh));
+            let reason = self.net.run(RunLimit {
+                max_ticks: self.cfg.max_ticks,
+                stop_before: Some(pause),
+            });
+            match reason {
+                StopReason::Completed | StopReason::MaxTicks => break reason,
+                StopReason::Paused => {
+                    while let Some(&(t, event)) = self.schedule.get(self.next_event) {
+                        if t > pause {
+                            break;
+                        }
+                        self.apply_event(event);
+                        self.next_event += 1;
+                    }
+                    if pause >= next_refresh {
+                        self.refresh_pass();
+                        next_refresh = pause + self.cfg.refresh_interval.max(1);
+                    }
+                }
+                StopReason::Stalled => {
+                    // Nothing in flight and every live link exhausted:
+                    // maintenance is the only way forward. Stalls that
+                    // repeat without a single new packet mean the
+                    // present senders have nothing left to contribute.
+                    let sent = self.net.packets_from_partial() + self.net.packets_from_full();
+                    dry_stalls = if sent == packets_at_stall { dry_stalls + 1 } else { 0 };
+                    packets_at_stall = sent;
+                    let rebuilt = self.refresh_pass();
+                    // The tolerance covers the starvation escalation:
+                    // by the 8th dry pass a starved peer has swept
+                    // essentially the whole roster (degree << 7).
+                    if rebuilt == 0 || dry_stalls >= 8 {
+                        // Maintenance cannot help: fast-forward to the
+                        // next membership event (a rejoin may bring the
+                        // missing symbols back), or concede the stall.
+                        if let Some(&(_, event)) = self.schedule.get(self.next_event) {
+                            self.apply_event(event);
+                            self.next_event += 1;
+                        } else {
+                            break StopReason::Stalled;
+                        }
+                    }
+                }
+            }
+        };
+        self.outcome(stop)
+    }
+
+    fn outcome(&self, stop: StopReason) -> SwarmOutcome {
+        let completed = self
+            .peers
+            .iter()
+            .filter(|p| self.net.node_complete(p.node))
+            .count();
+        let packets = self.net.packets_from_partial() + self.net.packets_from_full();
+        SwarmOutcome {
+            peers: self.peers.len(),
+            completed,
+            ticks: self.net.now(),
+            events: self.net.events_processed(),
+            packets,
+            overhead: if self.total_needed == 0 {
+                0.0
+            } else {
+                packets as f64 / self.total_needed as f64
+            },
+            joins: self.joins,
+            leaves: self.leaves,
+            rejoins: self.rejoins,
+            rewires: self.rewires,
+            reconnects: self.reconnects,
+            unapplied_events: (self.schedule.len() - self.next_event) as u32,
+            stop,
+        }
+    }
+}
+
+/// Builds and runs a swarm in one call — the experiment-grid cell shape.
+#[must_use]
+pub fn run_swarm(cfg: SwarmConfig, seed: u64) -> SwarmOutcome {
+    Swarm::new(cfg, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(peers: usize, blocks: usize) -> SwarmConfig {
+        SwarmConfig::new(peers, blocks, TopologyKind::RingChords { chords: peers / 2 })
+    }
+
+    #[test]
+    fn quiescent_ring_swarm_completes() {
+        let out = run_swarm(quiet(24, 80), 1);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete(), "completed {}/{}", out.completed, out.peers);
+        assert_eq!(out.membership_events(), 0);
+        assert!(out.overhead >= 1.0, "overhead {}", out.overhead);
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_seed_sensitive() {
+        let cfg = quiet(20, 60).with_churn(ChurnConfig {
+            leave_fraction: 0.3,
+            downtime: 15,
+            window: (3, 40),
+            joins: 2,
+            rewires: 2,
+        });
+        let a = run_swarm(cfg.clone(), 9);
+        let b = run_swarm(cfg.clone(), 9);
+        assert_eq!(a, b);
+        let c = run_swarm(cfg, 10);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn churned_swarm_completes_with_all_event_kinds_applied() {
+        let cfg = SwarmConfig::new(30, 70, TopologyKind::PowerLaw { m: 2 }).with_churn(
+            ChurnConfig {
+                leave_fraction: 0.25,
+                downtime: 20,
+                window: (3, 50),
+                joins: 3,
+                rewires: 3,
+            },
+        );
+        let out = run_swarm(cfg, 4);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete(), "completed {}/{}", out.completed, out.peers);
+        assert_eq!(out.peers, 33, "joins extend the roster");
+        assert_eq!(out.joins, 3);
+        assert_eq!(out.leaves, 7, "25% of 28 eligible");
+        assert_eq!(out.rejoins, out.leaves, "every leaver returned");
+        assert!(out.rewires >= 1);
+    }
+
+    #[test]
+    fn advised_strategy_swarm_completes() {
+        let cfg = quiet(16, 60).with_strategy(SwarmStrategy::Advised { recode: true });
+        let out = run_swarm(cfg, 6);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete());
+    }
+
+    #[test]
+    fn erdos_renyi_swarm_heals_disconnected_components() {
+        // p far below the connectivity threshold: isolated incomplete
+        // peers must be adopted by maintenance passes, not stall.
+        let cfg = SwarmConfig::new(24, 60, TopologyKind::ErdosRenyi { p: 0.02 });
+        let out = run_swarm(cfg, 8);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete());
+        assert!(out.reconnects > 0, "healing must have re-attached peers");
+    }
+
+    #[test]
+    fn overhead_stays_informed_under_churn() {
+        // The paper's qualitative claim at swarm scale: informed
+        // reconciliation keeps packets-per-needed-symbol near 1 even
+        // while the roster churns.
+        let cfg = SwarmConfig::new(32, 80, TopologyKind::PowerLaw { m: 2 }).with_churn(
+            ChurnConfig::leaving(0.2, (5, 60), 25),
+        );
+        let out = run_swarm(cfg, 12);
+        assert_eq!(out.stop, StopReason::Completed);
+        // Concurrent uncoordinated senders duplicate some candidates
+        // (the Figure 7 redundancy), but informed links stay far below
+        // the oblivious coupon-collector regime (4–8× at this scale).
+        assert!(out.overhead < 3.0, "churned overhead {}", out.overhead);
+    }
+}

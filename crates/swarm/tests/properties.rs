@@ -1,0 +1,82 @@
+//! Property-based tests for the topology generators: structural
+//! invariants (no self-loops, no duplicate edges, endpoints in range),
+//! exact or statistical edge counts, and power-law connectivity — over
+//! randomized sizes, parameters, and seeds.
+
+use icd_swarm::{build_topology, Topology, TopologyKind};
+use proptest::prelude::*;
+
+/// The invariants every generator must uphold regardless of kind.
+fn assert_well_formed(t: &Topology) {
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in &t.edges {
+        assert!(a < b, "edge ({a}, {b}) not normalized");
+        assert!(b < t.nodes, "edge ({a}, {b}) out of range");
+        assert!(seen.insert((a, b)), "duplicate edge ({a}, {b})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn erdos_renyi_is_well_formed_and_tracks_density(
+        nodes in 20usize..150, p in 0.01f64..0.5, seed in any::<u64>(),
+    ) {
+        let t = build_topology(TopologyKind::ErdosRenyi { p }, nodes, seed);
+        prop_assert_eq!(t.nodes, nodes);
+        assert_well_formed(&t);
+        // Binomial(pairs, p): allow 6 standard deviations of slack.
+        let pairs = (nodes * (nodes - 1) / 2) as f64;
+        let expected = p * pairs;
+        let sd = (pairs * p * (1.0 - p)).sqrt();
+        let got = t.edges.len() as f64;
+        prop_assert!(
+            (got - expected).abs() <= 6.0 * sd + 1.0,
+            "got {} edges, expected {:.1} ± {:.1}", t.edges.len(), expected, sd
+        );
+    }
+
+    #[test]
+    fn power_law_is_well_formed_connected_with_exact_count(
+        nodes in 10usize..300, m in 1usize..5, seed in any::<u64>(),
+    ) {
+        prop_assume!(nodes > m + 1);
+        let t = build_topology(TopologyKind::PowerLaw { m }, nodes, seed);
+        assert_well_formed(&t);
+        // Seed clique C(m+1, 2) plus m edges per arrival.
+        let expected = (m + 1) * m / 2 + (nodes - m - 1) * m;
+        prop_assert_eq!(t.edges.len(), expected);
+        prop_assert!(t.is_connected(), "preferential attachment must stay connected");
+        // Every node participates: minimum degree m.
+        let adj = t.adjacency();
+        prop_assert!(adj.iter().all(|n| n.len() >= m), "a node fell below degree m");
+    }
+
+    #[test]
+    fn ring_chords_is_well_formed_connected_with_exact_count(
+        nodes in 5usize..200, chords in 0usize..60, seed in any::<u64>(),
+    ) {
+        let t = build_topology(TopologyKind::RingChords { chords }, nodes, seed);
+        assert_well_formed(&t);
+        let capacity = nodes * (nodes - 1) / 2 - nodes;
+        prop_assert_eq!(t.edges.len(), nodes + chords.min(capacity));
+        prop_assert!(t.is_connected(), "the ring alone connects the graph");
+    }
+
+    #[test]
+    fn generators_are_pure_functions_of_their_seed(
+        nodes in 10usize..80, seed in any::<u64>(),
+    ) {
+        for kind in [
+            TopologyKind::ErdosRenyi { p: 0.1 },
+            TopologyKind::PowerLaw { m: 2 },
+            TopologyKind::RingChords { chords: 7 },
+        ] {
+            prop_assume!(nodes > 3);
+            let a = build_topology(kind, nodes, seed);
+            let b = build_topology(kind, nodes, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

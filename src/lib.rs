@@ -7,5 +7,6 @@ pub use icd_overlay as overlay;
 pub use icd_recon as recon;
 pub use icd_sketch as sketch;
 pub use icd_summary as summary;
+pub use icd_swarm as swarm;
 pub use icd_util as util;
 pub use icd_wire as wire;

@@ -113,6 +113,7 @@ pub fn mesh_matrix_with_threads(cfg: &ExpConfig, threads: usize) -> Table {
             "family",
             "speedup",
             "overhead",
+            "mb_wire",
             "lost_frac",
             "ring_gained",
             "completed",
@@ -143,6 +144,9 @@ pub fn mesh_matrix_with_threads(cfg: &ExpConfig, threads: usize) -> Table {
                 (*family).to_string(),
                 f3(speedup),
                 f3(overhead),
+                // True framed wire bytes of the receiver's download
+                // links (data + control), in megabytes.
+                f3(mean(&|o: &MeshOutcome| o.wire_bytes as f64 / 1e6)),
                 f3(lost),
                 format!("{ring:.0}"),
                 format!("{completed}/{}", trials.len()),

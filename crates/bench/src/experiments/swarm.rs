@@ -11,7 +11,7 @@
 //! count like every other artifact.
 
 use icd_summary::SummaryId;
-use icd_swarm::{run_swarm, ChurnConfig, SwarmConfig, SwarmOutcome, SwarmStrategy, TopologyKind};
+use icd_swarm::{try_run_swarm, ChurnConfig, SwarmConfig, SwarmOutcome, SwarmStrategy, TopologyKind};
 
 use icd_overlay::strategy::StrategyKind;
 
@@ -99,10 +99,13 @@ pub fn swarm_config(point: &SwarmPoint, strategy: StrategyKind, blocks: usize) -
 }
 
 /// Runs one swarm cell. Deterministic in `(point, strategy, blocks,
-/// seed)`.
+/// seed)`. Config validation runs through the checked path so a
+/// mis-sized cell names itself instead of aborting the whole grid
+/// anonymously.
 #[must_use]
 pub fn swarm_cell(point: &SwarmPoint, strategy: StrategyKind, blocks: usize, seed: u64) -> SwarmOutcome {
-    run_swarm(swarm_config(point, strategy, blocks), seed ^ 0x5A43)
+    try_run_swarm(swarm_config(point, strategy, blocks), seed ^ 0x5A43)
+        .unwrap_or_else(|e| panic!("swarm cell '{}' rejected: {e}", point.label))
 }
 
 /// The swarm matrix on `threads` workers: rows = topology × churn
@@ -133,6 +136,7 @@ pub fn swarm_matrix_with_threads(cfg: &ExpConfig, threads: usize) -> Table {
             "completed",
             "ticks",
             "overhead",
+            "mb_wire",
             "events",
             "membership",
             "reconnects",
@@ -151,6 +155,9 @@ pub fn swarm_matrix_with_threads(cfg: &ExpConfig, threads: usize) -> Table {
                 format!("{complete}/{}", trials.len()),
                 format!("{:.0}", mean(&|o: &SwarmOutcome| o.ticks as f64)),
                 f3(mean(&|o: &SwarmOutcome| o.overhead)),
+                // True framed wire bytes (data frames + handshakes), in
+                // megabytes — the byte-accounting sweep's honest column.
+                f3(mean(&|o: &SwarmOutcome| o.wire_bytes as f64 / 1e6)),
                 format!("{:.0}", mean(&|o: &SwarmOutcome| o.events as f64)),
                 format!("{:.0}", mean(&|o: &SwarmOutcome| f64::from(o.membership_events()))),
                 format!("{:.0}", mean(&|o: &SwarmOutcome| o.reconnects as f64)),

@@ -31,11 +31,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod machine;
 pub mod policy;
 pub mod session;
 pub mod summary;
 pub mod working_set;
 
+pub use machine::{
+    drive_receiver, drive_sender, FramePump, MachineError, ReceiverMachine, SenderMachine,
+    SessionAction, SessionEvent, WireStats,
+};
 pub use policy::{plan_transfer, select_summary, PolicyKnobs, TransferPlan};
 #[allow(deprecated)]
 pub use policy::SummaryChoice;

@@ -199,6 +199,10 @@ pub struct ReceiverSession {
     buffer: RecodeBuffer,
     gained: u64,
     plan: Option<TransferPlan>,
+    /// Ids recovered since the last [`ReceiverSession::take_recovered`]
+    /// call — the sans-I/O machine layer turns these into
+    /// `SymbolDecoded` actions.
+    recovered: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +230,7 @@ impl ReceiverSession {
                 buffer,
                 gained: 0,
                 plan: None,
+                recovered: Vec::new(),
             },
             opening,
         )
@@ -324,10 +329,20 @@ impl ReceiverSession {
         let mut recovered = Vec::new();
         self.buffer.receive_parts(components, payload, &mut recovered);
         for symbol in recovered {
+            let id = symbol.id;
             if working.insert(symbol) {
                 self.gained += 1;
+                self.recovered.push(id);
             }
         }
+    }
+
+    /// Drains the ids of symbols newly added to the working set since
+    /// the previous call. Event-driven drivers poll this after each
+    /// message to report per-symbol progress; batch callers can ignore
+    /// it (the buffer simply accumulates until drained).
+    pub fn take_recovered(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.recovered)
     }
 
     fn state_name(&self) -> &'static str {

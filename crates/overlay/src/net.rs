@@ -32,12 +32,19 @@
 
 use std::cmp::Ordering;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+use bytes::Bytes;
+use icd_core::machine::{ReceiverMachine, SenderMachine, SessionAction, SessionEvent};
+use icd_core::{SessionConfig, TransferPlan, WorkingSet};
+use icd_fountain::EncodedSymbol;
 use icd_sketch::{MinwiseSketch, PermutationFamily};
 use icd_summary::{DiffEstimate, SummaryId, SummaryRegistry, SummarySizing};
 use icd_util::hash::mix64;
 use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use icd_wire::budget::PACKET_BYTES;
+use icd_wire::framing::write_frame_buf;
+use icd_wire::{encoded_symbol_frame_len, recoded_symbol_frame_len, Message, FRAME_PREFIX_BYTES};
 
 use crate::handshake::{handshake_estimate, standard_family, standard_sizing};
 use crate::receiver::Receiver;
@@ -212,8 +219,23 @@ struct Event {
     time: Time,
     seq: u64,
     link: LinkId,
-    recoded: bool,
-    ids: Vec<SymbolId>,
+    kind: EventKind,
+}
+
+/// What is in flight: packet links carry symbol-level packets, session
+/// links carry the actual encoded wire frames their machines emitted.
+#[derive(Debug)]
+enum EventKind {
+    Packet {
+        recoded: bool,
+        ids: Vec<SymbolId>,
+    },
+    Frame {
+        /// Direction within the (bidirectional) session: `true` for
+        /// sender → receiver frames, `false` for the control backflow.
+        to_receiver: bool,
+        frame: Bytes,
+    },
 }
 
 impl PartialEq for Event {
@@ -295,6 +317,11 @@ enum LinkSource<'s> {
     Strategy(Sender),
     Fountain(FullSender),
     Custom(Box<dyn PacketSource + 's>),
+    /// A payload-true link: a sans-I/O receiver/sender machine pair from
+    /// `icd-core`, pumped frame-by-frame by the engine. Everything that
+    /// crosses the link — sketches, summaries, requests, symbols, End —
+    /// is the actual `icd-wire` frame the machines produced.
+    Session(Box<SessionLink>),
 }
 
 impl LinkSource<'_> {
@@ -307,8 +334,28 @@ impl LinkSource<'_> {
                 true
             }
             LinkSource::Custom(source) => source.next_packet_into(scratch),
+            LinkSource::Session(_) => {
+                unreachable!("session links pump frames, not packets")
+            }
         }
     }
+}
+
+/// State of one session link: the two machines and their frame outboxes.
+/// The engine is the driver — each send opportunity moves at most one
+/// frame per direction (mirroring `SessionPump::step`), applies
+/// rate/latency/loss to the real framed byte length, and feeds arrivals
+/// back in as [`SessionEvent::FrameReceived`].
+#[derive(Debug)]
+struct SessionLink {
+    receiver: ReceiverMachine,
+    sender: SenderMachine,
+    /// Frames queued at the sender end, heading to the receiver.
+    to_receiver: VecDeque<Bytes>,
+    /// Frames queued at the receiver end, heading back to the sender.
+    to_sender: VecDeque<Bytes>,
+    /// Frames currently in flight (latency > 0) on this link.
+    in_flight: u32,
 }
 
 #[derive(Debug)]
@@ -326,6 +373,19 @@ struct LinkState<'s> {
     packets_sent: u64,
     packets_lost: u64,
     packets_delivered: u64,
+    /// Framed wire bytes booked at send time: the `write_frame_buf`
+    /// length of every frame that took a send slot (lost ones included,
+    /// exactly like `packets_sent`). Packet links book the frame their
+    /// symbol *would* occupy on the wire; session links book the actual
+    /// frames their machines emitted.
+    bytes_sent: u64,
+    /// Framed wire bytes that arrived (excludes lost frames and frames
+    /// dropped by a mid-flight teardown).
+    bytes_delivered: u64,
+    /// Wire-exact framed bytes of the connect-time handshake exchange
+    /// (packet links only; session links ship their handshake as
+    /// ordinary frames counted in `bytes_sent`).
+    control_bytes: u64,
     summary: Option<SummaryId>,
     handshake_bytes: usize,
 }
@@ -334,12 +394,76 @@ struct LinkState<'s> {
 /// sender seeds.
 const LOSS_SEED_SALT: u64 = 0x1055_1CD0;
 
-/// Why [`OverlayNet::try_connect`] refused to create a link. Both cases
+/// Salts keying a session link's receiver- and sender-side machine RNG
+/// streams off the caller's link seed.
+const SESSION_SEED_SALT: u64 = 0x5E55_10A1;
+const SESSION_SENDER_SALT: u64 = 0x5E55_5E4D;
+
+/// Deterministic payload a symbol id expands to on a session link: `len`
+/// bytes of SplitMix64 keystream keyed by the id. Engine nodes track
+/// ids, not payloads; this function is the shared convention that lets
+/// both endpoints of a session link (and any test re-deriving frames)
+/// agree on payload content without storing it anywhere.
+#[must_use]
+pub fn session_payload(id: SymbolId, len: usize) -> Bytes {
+    let mut rng = SplitMix64::new(mix64(id ^ 0x5EA1_0AD5));
+    let mut buf = Vec::with_capacity(len.next_multiple_of(8));
+    while buf.len() < len {
+        buf.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    buf.truncate(len);
+    Bytes::from(buf)
+}
+
+fn session_symbol(id: SymbolId, len: usize) -> EncodedSymbol {
+    EncodedSymbol {
+        id,
+        payload: session_payload(id, len),
+    }
+}
+
+/// Wire-exact framed byte cost of a packet link's connect-time control
+/// exchange, frame by frame as the §3 session ships it: the receiver's
+/// min-wise calling card (sketch strategies), the sender's card in
+/// reply, the receiver's tagged summary frame, and the symbol request.
+/// Each term is `FRAME_PREFIX_BYTES` plus the `Message` encoding laid
+/// out in `icd-wire` (pinned there by `encoded_size` tests).
+fn control_plane_bytes(handshake: &ReceiverHandshake, sender_card: bool) -> u64 {
+    let minwise_frame = |sketch: &MinwiseSketch| {
+        // tag + family seed + set size + count + 8 bytes per minimum.
+        (FRAME_PREFIX_BYTES + 1 + 8 + 8 + 4 + 8 * sketch.minima().len()) as u64
+    };
+    let mut total = 0u64;
+    if let Some(sketch) = handshake.sketch.as_ref() {
+        total += minwise_frame(sketch);
+        if sender_card {
+            // The reply card mirrors the receiver's sketch shape.
+            total += minwise_frame(sketch);
+        }
+    }
+    if let Some((_, body)) = handshake.summary.as_ref() {
+        // tag + summary id + scheme + body count + body.
+        total += (FRAME_PREFIX_BYTES + 1 + 2 + 1 + 4 + body.len()) as u64;
+    }
+    // SymbolRequest: tag + count.
+    total += (FRAME_PREFIX_BYTES + 1 + 8) as u64;
+    total
+}
+
+/// Why [`OverlayNet::try_connect`] refused to create a link. All cases
 /// are wiring mistakes a topology builder wants surfaced, not silently
-/// absorbed: a self-loop moves nothing, and a second live strategy link
-/// over the same directed pair double-spends the handshake.
+/// absorbed: a self-loop moves nothing, a second live strategy link
+/// over the same directed pair double-spends the handshake, and an
+/// out-of-range node id is a stale handle (e.g. a membership layer
+/// rewiring toward a peer that departed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnectError {
+    /// An endpoint id does not name a node in this net — typically a
+    /// stale handle held across a membership change.
+    UnknownNode {
+        /// The offending endpoint.
+        node: NodeId,
+    },
     /// `from == to`: a link needs two distinct endpoints.
     SelfLoop {
         /// The node that was asked to connect to itself.
@@ -359,6 +483,11 @@ pub enum ConnectError {
 impl std::fmt::Display for ConnectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ConnectError::UnknownNode { node } => write!(
+                f,
+                "unknown node {}: no such node in this net (stale handle?)",
+                node.0
+            ),
             ConnectError::SelfLoop { node } => {
                 write!(f, "self-loop: node {} cannot connect to itself", node.0)
             }
@@ -407,6 +536,31 @@ pub struct OverlayNet<'s> {
     registry: &'static SummaryRegistry,
     sizing: SummarySizing,
     seed: u64,
+    /// Data-plane symbol payload size in bytes. Engine nodes track
+    /// symbol *ids*; this is the payload length every id expands to when
+    /// a link's bytes are accounted (packet links) or its frames are
+    /// actually encoded (session links, frame taps).
+    payload_bytes: usize,
+    /// Observer invoked with every frame that takes a send slot, as the
+    /// exact bytes `write_frame_buf` produces — the frame-parity seam.
+    frame_tap: Option<FrameTap<'s>>,
+    /// Reusable encode buffer for tapped packet-link frames.
+    tap_frame: Vec<u8>,
+    /// Shared zeroed payload for tapped packet-link frames (lengths are
+    /// budget-true; packet links do not track payload content).
+    tap_payload: Bytes,
+}
+
+/// The boxed observer callback behind [`OverlayNet::set_frame_tap`].
+type TapFn<'s> = Box<dyn FnMut(LinkId, &[u8]) + 's>;
+
+/// Newtype so `OverlayNet` keeps its `Debug` derive around a closure.
+struct FrameTap<'s>(TapFn<'s>);
+
+impl std::fmt::Debug for FrameTap<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FrameTap")
+    }
 }
 
 impl<'s> OverlayNet<'s> {
@@ -431,6 +585,10 @@ impl<'s> OverlayNet<'s> {
             registry: icd_recon::shared_registry(),
             sizing: standard_sizing(),
             seed,
+            payload_bytes: PACKET_BYTES,
+            frame_tap: None,
+            tap_frame: Vec::new(),
+            tap_payload: Bytes::new(),
         }
     }
 
@@ -439,6 +597,44 @@ impl<'s> OverlayNet<'s> {
     pub fn with_sizing(mut self, sizing: SummarySizing) -> Self {
         self.sizing = sizing;
         self
+    }
+
+    /// Replaces the data-plane payload size (default: the paper's 1 KB
+    /// packet, [`PACKET_BYTES`]). Applies to links connected afterwards
+    /// and to the net's byte accounting.
+    #[must_use]
+    pub fn with_payload_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1, "payload must be at least one byte");
+        self.payload_bytes = bytes;
+        if self.frame_tap.is_some() && self.tap_payload.len() != bytes {
+            self.tap_payload = Bytes::from(vec![0u8; bytes]);
+        }
+        self
+    }
+
+    /// The configured data-plane payload size in bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Installs an observer called with `(link, frame)` for every frame
+    /// that takes a send slot — the exact prefix+body bytes
+    /// `write_frame_buf` produces, lost frames included (mirroring
+    /// `bytes_sent`). Session-link frames are handed over verbatim;
+    /// packet-link symbols are materialized as the frame they occupy on
+    /// the wire (zeroed payload, budget-true length). The packet fast
+    /// path pays nothing while no tap is installed.
+    pub fn set_frame_tap<F: FnMut(LinkId, &[u8]) + 's>(&mut self, tap: F) {
+        if self.tap_payload.len() != self.payload_bytes {
+            self.tap_payload = Bytes::from(vec![0u8; self.payload_bytes]);
+        }
+        self.frame_tap = Some(FrameTap(Box::new(tap)));
+    }
+
+    /// Removes the frame tap installed by [`OverlayNet::set_frame_tap`].
+    pub fn clear_frame_tap(&mut self) {
+        self.frame_tap = None;
     }
 
     // ------------------------------------------------------------------
@@ -571,6 +767,13 @@ impl<'s> OverlayNet<'s> {
         params: Link,
         spec: ConnectSpec,
     ) -> Result<LinkId, ConnectError> {
+        // Stale-handle check first: everything below indexes the node
+        // table, so an unknown id must be refused before any lookup.
+        for node in [from, to] {
+            if node.0 >= self.nodes.len() {
+                return Err(ConnectError::UnknownNode { node });
+            }
+        }
         if from == to {
             return Err(ConnectError::SelfLoop { node: from });
         }
@@ -606,6 +809,7 @@ impl<'s> OverlayNet<'s> {
         );
         let summary = handshake.summary.as_ref().map(|(id, _)| *id);
         let handshake_bytes = handshake.summary_bytes();
+        let control_bytes = control_plane_bytes(&handshake, sender_card.is_some());
         Ok(self.install_link(
             from,
             to,
@@ -614,7 +818,78 @@ impl<'s> OverlayNet<'s> {
             false,
             summary,
             handshake_bytes,
+            control_bytes,
         ))
+    }
+
+    /// Connects `from → to` as a **session link**: a sans-I/O
+    /// [`ReceiverMachine`]/[`SenderMachine`] pair from `icd-core` whose
+    /// wire frames — sketches, summaries, requests, symbols, End — are
+    /// what actually crosses the link, with rate/latency/loss applied to
+    /// the real framed byte lengths. Each endpoint's working set is the
+    /// node's current one, every id expanded to [`Self::payload_bytes`]
+    /// bytes via [`session_payload`]; symbols the receiver machine
+    /// decodes are mirrored into the destination node, so completion,
+    /// gain, and mixed session/packet topologies all work unchanged.
+    ///
+    /// Loss applies only to data-plane frames (encoded/recoded symbols):
+    /// the engine has no retransmission layer, and §3's handshake is a
+    /// handful of frames riding a reliable control channel.
+    pub fn connect_session(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        params: Link,
+        seed: u64,
+    ) -> Result<LinkId, ConnectError> {
+        for node in [from, to] {
+            if node.0 >= self.nodes.len() {
+                return Err(ConnectError::UnknownNode { node });
+            }
+        }
+        if from == to {
+            return Err(ConnectError::SelfLoop { node: from });
+        }
+        self.refresh_inventory(from);
+        let payload = self.payload_bytes;
+        let receiver_ws = WorkingSet::from_symbols(
+            self.nodes[to.0]
+                .working_keys()
+                .into_iter()
+                .map(|id| session_symbol(id, payload)),
+        );
+        let sender_ws = WorkingSet::from_symbols(
+            self.nodes[from.0]
+                .inventory
+                .iter()
+                .map(|&id| session_symbol(id, payload)),
+        );
+        let request = self.nodes[to.0].receiver.remaining().max(1) as u64;
+        let config = SessionConfig::new()
+            .with_request(request)
+            .with_seed(mix64(seed ^ SESSION_SEED_SALT));
+        let mut receiver = ReceiverMachine::new(receiver_ws, config);
+        let mut sender = SenderMachine::new(sender_ws, mix64(seed ^ SESSION_SENDER_SALT));
+        let mut to_sender = VecDeque::new();
+        for action in receiver
+            .handle(SessionEvent::PeerConnected)
+            .expect("fresh receiver accepts PeerConnected")
+        {
+            if let SessionAction::SendFrame(f) = action {
+                to_sender.push_back(f);
+            }
+        }
+        let _ = sender
+            .handle(SessionEvent::PeerConnected)
+            .expect("fresh sender accepts PeerConnected");
+        let sess = Box::new(SessionLink {
+            receiver,
+            sender,
+            to_receiver: VecDeque::new(),
+            to_sender,
+            in_flight: 0,
+        });
+        Ok(self.install_link(from, to, LinkSource::Session(sess), params, false, None, 0, 0))
     }
 
     /// Refreshes `node`'s advertised inventory from its live working
@@ -649,7 +924,7 @@ impl<'s> OverlayNet<'s> {
     /// the `packets_from_full` column). `stream` keeps multiple full
     /// senders' fresh-id namespaces disjoint.
     pub fn connect_full(&mut self, from: NodeId, to: NodeId, stream: u32, params: Link) -> LinkId {
-        self.install_link(from, to, LinkSource::Fountain(FullSender::new(stream)), params, true, None, 0)
+        self.install_link(from, to, LinkSource::Fountain(FullSender::new(stream)), params, true, None, 0, 0)
     }
 
     /// Connects an arbitrary packet source `from → to`. `counts_as_full`
@@ -662,7 +937,7 @@ impl<'s> OverlayNet<'s> {
         params: Link,
         counts_as_full: bool,
     ) -> LinkId {
-        self.install_link(from, to, LinkSource::Custom(source), params, counts_as_full, None, 0)
+        self.install_link(from, to, LinkSource::Custom(source), params, counts_as_full, None, 0, 0)
     }
 
     /// Tears a link down. Packets already in flight on it are dropped;
@@ -700,6 +975,7 @@ impl<'s> OverlayNet<'s> {
         full: bool,
         summary: Option<SummaryId>,
         handshake_bytes: usize,
+        control_bytes: u64,
     ) -> LinkId {
         assert!(params.interval >= 1, "link interval must be >= 1");
         assert!(
@@ -729,6 +1005,9 @@ impl<'s> OverlayNet<'s> {
             packets_sent: 0,
             packets_lost: 0,
             packets_delivered: 0,
+            bytes_sent: 0,
+            bytes_delivered: 0,
+            control_bytes,
             summary,
             handshake_bytes,
         });
@@ -738,15 +1017,14 @@ impl<'s> OverlayNet<'s> {
         id
     }
 
-    fn schedule_arrival(&mut self, time: Time, link: LinkId, recoded: bool, ids: Vec<SymbolId>) {
+    fn schedule_arrival(&mut self, time: Time, link: LinkId, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event {
             time,
             seq,
             link,
-            recoded,
-            ids,
+            kind,
         }));
     }
 
@@ -899,7 +1177,15 @@ impl<'s> OverlayNet<'s> {
                 }
                 let Reverse(event) = self.queue.pop().expect("peeked");
                 self.events_processed += 1;
-                if let Some(reason) = self.process_arrival(event.link, event.recoded, event.ids) {
+                let reason = match event.kind {
+                    EventKind::Packet { recoded, ids } => {
+                        self.process_arrival(event.link, recoded, ids)
+                    }
+                    EventKind::Frame { to_receiver, frame } => {
+                        self.process_session_arrival(event.link, frame, to_receiver, true)
+                    }
+                };
+                if let Some(reason) = reason {
                     return reason;
                 }
             }
@@ -924,6 +1210,9 @@ impl<'s> OverlayNet<'s> {
     }
 
     fn process_send(&mut self, l: LinkId) -> Option<StopReason> {
+        if matches!(self.links[l.0].source, LinkSource::Session(_)) {
+            return self.process_session_send(l);
+        }
         let scratch = &mut self.scratch;
         let link = &mut self.links[l.0];
         if !link.source.next_packet_into(scratch) {
@@ -931,6 +1220,14 @@ impl<'s> OverlayNet<'s> {
             return None; // its calendar entry was just popped; none re-added
         }
         link.packets_sent += 1;
+        // Book the framed wire length this symbol occupies: the exact
+        // `write_frame_buf` output for the corresponding message.
+        let frame_len = if scratch.is_recoded() {
+            recoded_symbol_frame_len(scratch.ids().len(), self.payload_bytes)
+        } else {
+            encoded_symbol_frame_len(self.payload_bytes)
+        } as u64;
+        link.bytes_sent += frame_len;
         link.next_send = self.now + link.params.interval;
         let next_send = link.next_send;
         let latency = link.params.latency;
@@ -944,24 +1241,51 @@ impl<'s> OverlayNet<'s> {
         // Re-book the send cadence before delivery so an early Completed
         // return leaves the calendar consistent for resumed runs.
         self.send_queue.push(Reverse((next_send, l.0 as u32)));
+        if self.frame_tap.is_some() {
+            self.tap_scratch_frame(l, frame_len);
+        }
         if lost {
             return None;
         }
         if latency == 0 {
-            self.deliver_scratch(l)
+            self.deliver_scratch(l, frame_len)
         } else {
             let arrival_time = self.now + latency;
             let ids = self.scratch.ids().to_vec();
             let recoded = self.scratch.is_recoded();
-            self.schedule_arrival(arrival_time, l, recoded, ids);
+            self.schedule_arrival(arrival_time, l, EventKind::Packet { recoded, ids });
             None
         }
     }
 
+    /// Materializes the packet in `self.scratch` as the wire frame it
+    /// occupies and hands it to the installed tap. Off the fast path:
+    /// only called when a tap is installed.
+    fn tap_scratch_frame(&mut self, l: LinkId, frame_len: u64) {
+        let msg = if self.scratch.is_recoded() {
+            Message::RecodedSymbol {
+                components: self.scratch.ids().to_vec(),
+                payload: self.tap_payload.clone(),
+            }
+        } else {
+            Message::EncodedSymbol {
+                id: self.scratch.ids()[0],
+                payload: self.tap_payload.clone(),
+            }
+        };
+        write_frame_buf(&mut std::io::sink(), &msg, &mut self.tap_frame)
+            .expect("sink write cannot fail");
+        debug_assert_eq!(self.tap_frame.len() as u64, frame_len, "budget must be wire-exact");
+        if let Some(tap) = self.frame_tap.as_mut() {
+            (tap.0)(l, &self.tap_frame);
+        }
+    }
+
     /// Delivers the packet currently in `self.scratch` over link `l`.
-    fn deliver_scratch(&mut self, l: LinkId) -> Option<StopReason> {
+    fn deliver_scratch(&mut self, l: LinkId, frame_len: u64) -> Option<StopReason> {
         let link = &mut self.links[l.0];
         link.packets_delivered += 1;
+        link.bytes_delivered += frame_len;
         let to = link.to;
         let node = &mut self.nodes[to.0];
         debug_assert!(!node.seeder, "seeder nodes cannot be link destinations");
@@ -974,11 +1298,17 @@ impl<'s> OverlayNet<'s> {
     }
 
     fn process_arrival(&mut self, l: LinkId, recoded: bool, ids: Vec<SymbolId>) -> Option<StopReason> {
+        let frame_len = if recoded {
+            recoded_symbol_frame_len(ids.len(), self.payload_bytes)
+        } else {
+            encoded_symbol_frame_len(self.payload_bytes)
+        } as u64;
         let link = &mut self.links[l.0];
         if !link.alive {
             return None; // torn down mid-flight: the packet is gone
         }
         link.packets_delivered += 1;
+        link.bytes_delivered += frame_len;
         let to = link.to;
         let node = &mut self.nodes[to.0];
         let was_complete = node.receiver.is_complete();
@@ -988,6 +1318,165 @@ impl<'s> OverlayNet<'s> {
         } else {
             node.receiver.receive(&Packet::Encoded(ids[0]))
         };
+        if gained > 0 {
+            node.card = None;
+        }
+        self.completion_after_delivery(to, was_complete)
+    }
+
+    /// One send opportunity on a session link: moves at most one queued
+    /// frame per direction (mirroring `SessionPump::step`), booking the
+    /// real framed byte length against the link and applying loss to
+    /// data-plane frames only.
+    fn process_session_send(&mut self, l: LinkId) -> Option<StopReason> {
+        let now = self.now;
+        let LinkState {
+            source,
+            params,
+            loss_rng,
+            next_send,
+            exhausted,
+            packets_sent,
+            packets_lost,
+            bytes_sent,
+            ..
+        } = &mut self.links[l.0];
+        let (interval, latency, loss) = (params.interval, params.latency, params.loss);
+        let LinkSource::Session(sess) = source else {
+            unreachable!("process_session_send on a packet link")
+        };
+        let fwd = sess.to_receiver.pop_front();
+        let rev = sess.to_sender.pop_front();
+        if fwd.is_none() && rev.is_none() {
+            let finished = sess.receiver.is_finished() && sess.sender.is_finished();
+            if finished || sess.in_flight == 0 {
+                // Done — or wedged with nothing in flight that could
+                // ever produce another frame.
+                *exhausted = true;
+                return None;
+            }
+            // Frames still in flight will wake the machines; idle until
+            // the next opportunity.
+            *next_send = now + interval;
+            let due = *next_send;
+            self.send_queue.push(Reverse((due, l.0 as u32)));
+            return None;
+        }
+        *next_send = now + interval;
+        let due = *next_send;
+        // At most two entries: one frame per direction.
+        let mut inline: [Option<(Bytes, bool)>; 2] = [None, None];
+        for (slot, (frame, to_receiver)) in [(fwd, true), (rev, false)]
+            .into_iter()
+            .filter_map(|(f, d)| f.map(|f| (f, d)))
+            .enumerate()
+        {
+            *packets_sent += 1;
+            *bytes_sent += frame.len() as u64;
+            if let Some(tap) = self.frame_tap.as_mut() {
+                (tap.0)(l, &frame);
+            }
+            let data = frame
+                .get(FRAME_PREFIX_BYTES)
+                .copied()
+                .is_some_and(Message::is_data_tag);
+            let lost = data && loss > 0.0 && {
+                let draw = (loss_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                draw < loss
+            };
+            if lost {
+                *packets_lost += 1;
+                continue;
+            }
+            if latency == 0 {
+                inline[slot] = Some((frame, to_receiver));
+            } else {
+                sess.in_flight += 1;
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Reverse(Event {
+                    time: now + latency,
+                    seq,
+                    link: l,
+                    kind: EventKind::Frame { to_receiver, frame },
+                }));
+            }
+        }
+        // Calendar first (as in the packet path) so an early Completed
+        // return leaves resumable state.
+        self.send_queue.push(Reverse((due, l.0 as u32)));
+        for (frame, to_receiver) in inline.into_iter().flatten() {
+            if let Some(reason) = self.process_session_arrival(l, frame, to_receiver, false) {
+                return Some(reason);
+            }
+        }
+        None
+    }
+
+    /// Lands one session-link frame: feeds it to the destination-side
+    /// machine, queues whatever frames the machine answers with, and
+    /// mirrors every symbol the receiver machine decodes into the
+    /// destination node's engine-side receiver (so completion, gain, and
+    /// calling-card invalidation work exactly as for packet links).
+    fn process_session_arrival(
+        &mut self,
+        l: LinkId,
+        frame: Bytes,
+        to_receiver: bool,
+        from_queue: bool,
+    ) -> Option<StopReason> {
+        let LinkState {
+            source,
+            alive,
+            to,
+            packets_delivered,
+            bytes_delivered,
+            ..
+        } = &mut self.links[l.0];
+        let to = *to;
+        let LinkSource::Session(sess) = source else {
+            return None;
+        };
+        if from_queue {
+            sess.in_flight -= 1;
+        }
+        if !*alive {
+            return None; // torn down mid-flight: the frame is gone
+        }
+        *packets_delivered += 1;
+        *bytes_delivered += frame.len() as u64;
+        let actions = if to_receiver {
+            sess.receiver.handle(SessionEvent::FrameReceived(frame))
+        } else {
+            sess.sender.handle(SessionEvent::FrameReceived(frame))
+        };
+        // A frame both machines agreed on cannot fail to parse or
+        // violate the protocol: an error here is an engine bug, and the
+        // deterministic seed in the message reproduces it.
+        let actions = actions.unwrap_or_else(|e| panic!("session link {} broke protocol: {e}", l.0));
+        let mut decoded: Vec<SymbolId> = Vec::new();
+        for action in actions {
+            match action {
+                SessionAction::SendFrame(f) => {
+                    if to_receiver {
+                        sess.to_sender.push_back(f);
+                    } else {
+                        sess.to_receiver.push_back(f);
+                    }
+                }
+                SessionAction::SymbolDecoded(id) => decoded.push(id),
+                _ => {}
+            }
+        }
+        if decoded.is_empty() {
+            return None;
+        }
+        let node = &mut self.nodes[to.0];
+        let was_complete = node.receiver.is_complete();
+        let mut gained = 0;
+        for id in decoded {
+            gained += node.receiver.receive(&Packet::Encoded(id));
+        }
         if gained > 0 {
             node.card = None;
         }
@@ -1090,6 +1579,67 @@ impl<'s> OverlayNet<'s> {
         (link.packets_sent, link.packets_delivered, link.packets_lost)
     }
 
+    /// `(sent, delivered)` framed wire bytes for link `l` — the exact
+    /// `write_frame_buf` lengths of the frames that took send slots and
+    /// of those that arrived (lost frames are booked as sent, never as
+    /// delivered; connect-time handshakes live in
+    /// [`OverlayNet::link_control_bytes`]).
+    #[must_use]
+    pub fn link_wire_bytes(&self, l: LinkId) -> (u64, u64) {
+        let link = &self.links[l.0];
+        (link.bytes_sent, link.bytes_delivered)
+    }
+
+    /// Wire-exact framed bytes of link `l`'s connect-time control
+    /// exchange (zero for full/custom links, and for session links,
+    /// whose handshake frames are counted in [`Self::link_wire_bytes`]).
+    #[must_use]
+    pub fn link_control_bytes(&self, l: LinkId) -> u64 {
+        self.links[l.0].control_bytes
+    }
+
+    /// Net-wide framed wire bytes booked at send time, dead links
+    /// included, connect-time control exchanges excluded (sum those via
+    /// [`Self::control_wire_bytes`]).
+    #[must_use]
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_sent).sum()
+    }
+
+    /// Net-wide framed wire bytes delivered.
+    #[must_use]
+    pub fn wire_bytes_delivered(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_delivered).sum()
+    }
+
+    /// Net-wide framed control-exchange bytes (packet links' handshakes).
+    #[must_use]
+    pub fn control_wire_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.control_bytes).sum()
+    }
+
+    /// The transfer plan a session link's machines negotiated: `None`
+    /// for packet links and until the handshake resolves.
+    #[must_use]
+    pub fn session_link_plan(&self, l: LinkId) -> Option<TransferPlan> {
+        match &self.links[l.0].source {
+            LinkSource::Session(sess) => sess.receiver.plan(),
+            _ => None,
+        }
+    }
+
+    /// Whether a session link's machine pair has finished (both sides).
+    /// `false` for packet links.
+    #[must_use]
+    pub fn session_link_finished(&self, l: LinkId) -> bool {
+        match &self.links[l.0].source {
+            LinkSource::Session(sess) => {
+                sess.receiver.is_finished() && sess.sender.is_finished()
+            }
+            _ => false,
+        }
+    }
+
     /// Whether link `l`'s source has exhausted.
     #[must_use]
     pub fn link_exhausted(&self, l: LinkId) -> bool {
@@ -1179,6 +1729,12 @@ pub struct MeshOutcome {
     /// Symbols the seeders picked up from each other concurrently (the
     /// background ring reconciliation).
     pub seeder_gained: usize,
+    /// True framed wire bytes of the receiver's download: the data-plane
+    /// bytes sent on the receiver-facing links plus their wire-exact
+    /// connect-time control exchanges. Consistent with
+    /// `transfer.packets_from_partial` (send-time booking, ring links
+    /// excluded).
+    pub wire_bytes: u64,
     /// Events the engine processed.
     pub events: u64,
     /// Why the run stopped.
@@ -1272,11 +1828,16 @@ pub fn run_mesh_download(
     let mut transfer = net.outcome_for(receiver);
     transfer.packets_from_partial = links.iter().map(|&l| net.link_packets(l).0).sum();
     let packets_lost = links.iter().map(|&l| net.link_packets(l).2).sum();
+    let wire_bytes = links
+        .iter()
+        .map(|&l| net.link_wire_bytes(l).0 + net.link_control_bytes(l))
+        .sum();
     MeshOutcome {
         transfer,
         summaries,
         packets_lost,
         seeder_gained,
+        wire_bytes,
         events: net.events_processed(),
         stop,
     }
@@ -1628,5 +2189,164 @@ mod tests {
         let exact = advise_summary(registry, &sizing, &estimate, 1.0, 0.0).expect("exact exists");
         let spec = registry.get(exact).expect("registered");
         assert!(((spec.expected_recall)(&sizing, &estimate) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_node_handle_is_a_connect_error_not_a_panic() {
+        // The membership-layer regression: rewiring toward a node handle
+        // from a departed roster must surface UnknownNode, not abort.
+        let mut net = OverlayNet::new(35);
+        let r = net.add_node(&[9], 3);
+        let s = net.add_node(&[1, 2, 3], 3);
+        let stale = NodeId(17);
+        let err = net
+            .try_connect(s, stale, StrategyKind::Random, Link::default(), ConnectSpec::seeded(1))
+            .expect_err("stale destination");
+        assert_eq!(err, ConnectError::UnknownNode { node: stale });
+        assert!(err.to_string().contains("unknown node 17"));
+        let err = net
+            .try_connect(stale, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(2))
+            .expect_err("stale source");
+        assert_eq!(err, ConnectError::UnknownNode { node: stale });
+        assert_eq!(
+            net.connect_session(s, stale, Link::default(), 3).expect_err("stale session"),
+            ConnectError::UnknownNode { node: stale }
+        );
+        // The net survives the refusal: a valid rewire still works.
+        net.set_observer(r, true);
+        net.connect(s, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(4));
+        assert_eq!(net.run(RunLimit::ticks(1_000)), StopReason::Completed);
+    }
+
+    #[test]
+    fn session_link_completes_with_wire_exact_bytes() {
+        // A session link moves actual icd-wire frames; the engine's byte
+        // counters must equal the summed lengths of exactly those frames.
+        // The target is set one above what the sender holds, so the run
+        // stalls only after the session drains completely (a Completed
+        // stop returns the moment the observer finishes, which can leave
+        // the session's closing End frame still queued).
+        let mut net = OverlayNet::new(36).with_payload_bytes(64);
+        let r = net.add_node(&[1, 2, 3], 41);
+        net.set_observer(r, true);
+        let inventory: Vec<SymbolId> = (1..=40).collect();
+        let s = net.add_seeder(&inventory);
+        let tapped = std::rc::Rc::new(std::cell::RefCell::new((0u64, 0u64)));
+        let sink = std::rc::Rc::clone(&tapped);
+        net.set_frame_tap(move |_, frame| {
+            let mut t = sink.borrow_mut();
+            t.0 += 1;
+            t.1 += frame.len() as u64;
+        });
+        let l = net.connect_session(s, r, Link::default(), 0xF00D).expect("wired");
+        let stop = net.run(RunLimit::ticks(10_000));
+        assert_eq!(stop, StopReason::Stalled);
+        assert_eq!(net.node_distinct(r), 40, "every sender symbol landed");
+        assert!(net.session_link_finished(l));
+        assert!(net.link_exhausted(l), "drained session link goes idle");
+        assert!(net.session_link_plan(l).is_some(), "handshake resolved a plan");
+        let (sent, delivered) = net.link_wire_bytes(l);
+        assert_eq!(sent, delivered, "lossless link delivers every frame");
+        let (frames, bytes) = *tapped.borrow();
+        assert_eq!(bytes, sent, "tap saw exactly the booked bytes");
+        let (packets_sent, _, _) = net.link_packets(l);
+        assert_eq!(frames, packets_sent, "every frame took a send slot");
+        assert_eq!(net.link_control_bytes(l), 0, "handshake frames ride in bytes_sent");
+    }
+
+    #[test]
+    fn session_link_rides_latency_and_interval() {
+        let mut net = OverlayNet::new(37).with_payload_bytes(32);
+        let r = net.add_node(&[], 12);
+        net.set_observer(r, true);
+        let inventory: Vec<SymbolId> = (100..112).collect();
+        let s = net.add_seeder(&inventory);
+        let link = Link {
+            interval: 2,
+            latency: 3,
+            loss: 0.0,
+        };
+        let l = net.connect_session(s, r, link, 0xBEEF).expect("wired");
+        assert_eq!(net.run(RunLimit::ticks(100_000)), StopReason::Completed);
+        assert_eq!(net.node_distinct(r), 12);
+        let (sent, delivered, lost) = net.link_packets(l);
+        assert_eq!(lost, 0);
+        assert!(delivered <= sent, "completion can strand queued frames");
+        // Rate 1/2 with a frame per direction per slot: the handshake
+        // plus 12 symbols plus End need well over a dozen ticks.
+        assert!(net.now() > 12, "interval and latency must slow the run");
+    }
+
+    #[test]
+    fn session_link_loss_hits_data_frames_only() {
+        // Loss must never deadlock the handshake: control frames ride a
+        // reliable channel, data frames drop i.i.d. A one-shot session
+        // plan loses withheld symbols forever (the §2 argument), so the
+        // run ends in a stall with the receiver short — never a hang.
+        let mut net = OverlayNet::new(38).with_payload_bytes(32);
+        let r = net.add_node(&[], 400);
+        net.set_observer(r, true);
+        let inventory: Vec<SymbolId> = (0..400).collect();
+        let s = net.add_seeder(&inventory);
+        let l = net.connect_session(s, r, Link::lossy(0.25), 0xD1CE).expect("wired");
+        let stop = net.run(RunLimit::ticks(100_000));
+        assert!(
+            matches!(stop, StopReason::Completed | StopReason::Stalled),
+            "lossy session must terminate, got {stop:?}"
+        );
+        let (sent, delivered, lost) = net.link_packets(l);
+        assert!(lost > 0, "a quarter of data frames should drop");
+        assert_eq!(delivered + lost, sent);
+        assert!(net.node_distinct(r) > 200, "most symbols still land");
+        let (bytes_sent, bytes_delivered) = net.link_wire_bytes(l);
+        assert!(bytes_delivered < bytes_sent, "lost frames are sent, not delivered");
+    }
+
+    #[test]
+    fn session_and_packet_links_interoperate_on_one_node() {
+        // Mixed data planes: node r downloads from one packet link and
+        // one session link at once; symbols from either count toward the
+        // same completion target.
+        let mut net = OverlayNet::new(39).with_payload_bytes(48);
+        let r = net.add_node(&[], 60);
+        net.set_observer(r, true);
+        let first: Vec<SymbolId> = (0..30).collect();
+        let second: Vec<SymbolId> = (30..60).collect();
+        let s1 = net.add_seeder(&first);
+        let s2 = net.add_seeder(&second);
+        net.connect(s1, r, StrategyKind::Random, Link::default(), ConnectSpec::seeded(1));
+        net.connect_session(s2, r, Link::default(), 2).expect("wired");
+        assert_eq!(net.run(RunLimit::ticks(10_000)), StopReason::Completed);
+        assert_eq!(net.node_distinct(r), 60);
+        // Net-wide byte totals cover both link kinds.
+        assert!(net.wire_bytes_sent() > 0);
+        assert!(net.control_wire_bytes() > 0, "packet link booked its handshake");
+    }
+
+    #[test]
+    fn packet_link_bytes_match_materialized_frames() {
+        // The byte counters on a classic packet link must equal the
+        // summed lengths of the frames the tap materializes — the same
+        // invariant the frame-parity golden pins end to end.
+        let params = compact(900);
+        let scenario = TwoPeerScenario::build(&params, 0.3);
+        let mut net = OverlayNet::new(40);
+        let r = net.add_node(&scenario.receiver_set, scenario.target);
+        net.set_observer(r, true);
+        let s = net.add_seeder(&scenario.sender_set);
+        let tapped = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+        let sink = std::rc::Rc::clone(&tapped);
+        net.set_frame_tap(move |_, frame| *sink.borrow_mut() += frame.len() as u64);
+        let l = net.connect(
+            s,
+            r,
+            StrategyKind::Recode,
+            Link::default(),
+            ConnectSpec::seeded(41),
+        );
+        let _ = net.run(RunLimit::ticks(100_000));
+        let (sent, _) = net.link_wire_bytes(l);
+        assert!(sent > 0);
+        assert_eq!(*tapped.borrow(), sent);
     }
 }

@@ -46,13 +46,19 @@ pub enum Packet {
 }
 
 impl Packet {
-    /// Wire size of the packet header + payload for a given block size —
-    /// used by byte-accounting ablations (`sim_step` bench).
+    /// True framed wire size of this packet carrying a `block_size`
+    /// payload: the exact `write_frame_buf` length of the corresponding
+    /// `icd-wire` message (length prefix included). Delegates to the
+    /// closed forms pinned against the real encoder in `icd-wire`, so
+    /// byte-accounting ablations can never drift from the wire again —
+    /// the old hand-rolled header arithmetic here undercounted every
+    /// packet by 9–11 bytes (missing the frame prefix, tag, and count
+    /// fields).
     #[must_use]
     pub fn wire_size(&self, block_size: usize) -> usize {
         match self {
-            Packet::Encoded(_) => 8 + block_size,
-            Packet::Recoded(c) => 2 + 8 * c.len() + block_size,
+            Packet::Encoded(_) => icd_wire::encoded_symbol_frame_len(block_size),
+            Packet::Recoded(c) => icd_wire::recoded_symbol_frame_len(c.len(), block_size),
         }
     }
 }
@@ -811,8 +817,33 @@ mod tests {
     }
 
     #[test]
-    fn packet_wire_size() {
-        assert_eq!(Packet::Encoded(1).wire_size(1400), 1408);
-        assert_eq!(Packet::Recoded(vec![1, 2, 3]).wire_size(1400), 1426);
+    fn packet_wire_size_is_the_framed_length() {
+        // prefix(4) + tag(1) + id(8) + count(4) + payload.
+        assert_eq!(Packet::Encoded(1).wire_size(1400), 1417);
+        // prefix(4) + tag(1) + count(4) + 3 ids + count(4) + payload.
+        assert_eq!(Packet::Recoded(vec![1, 2, 3]).wire_size(1400), 1437);
+        // Cross-check against the actual encoder, not just the formula.
+        use bytes::Bytes;
+        let mut scratch = Vec::new();
+        icd_wire::write_frame_buf(
+            &mut std::io::sink(),
+            &icd_wire::Message::EncodedSymbol {
+                id: 1,
+                payload: Bytes::from(vec![0u8; 1400]),
+            },
+            &mut scratch,
+        )
+        .expect("sink write");
+        assert_eq!(scratch.len(), Packet::Encoded(1).wire_size(1400));
+        icd_wire::write_frame_buf(
+            &mut std::io::sink(),
+            &icd_wire::Message::RecodedSymbol {
+                components: vec![1, 2, 3],
+                payload: Bytes::from(vec![0u8; 1400]),
+            },
+            &mut scratch,
+        )
+        .expect("sink write");
+        assert_eq!(scratch.len(), Packet::Recoded(vec![1, 2, 3]).wire_size(1400));
     }
 }

@@ -12,17 +12,32 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (matching upstream proptest) so scheduled CI lanes can
+    /// run the same properties at a larger budget without code changes.
     fn default() -> Self {
-        Self { cases: 64 }
+        Self {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` cases.
+    /// A configuration running `cases` cases; `PROPTEST_CASES` still
+    /// wins when set, so an explicit in-code budget stays a floor for
+    /// quick runs, not a ceiling for nightly ones.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// Parses `PROPTEST_CASES` (positive integer) if present and well-formed.
+fn env_cases() -> Option<u32> {
+    let cases: u32 = std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()?;
+    (cases > 0).then_some(cases)
 }
 
 /// SplitMix64-based sampling RNG, seeded from the fully qualified test

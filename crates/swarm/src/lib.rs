@@ -24,5 +24,7 @@ pub mod topology;
 
 pub use icd_overlay::net::Link;
 pub use membership::{churn_plan, ChurnConfig, PeerId, SwarmEvent};
-pub use swarm::{run_swarm, Swarm, SwarmConfig, SwarmOutcome, SwarmStrategy};
+pub use swarm::{
+    run_swarm, try_run_swarm, Swarm, SwarmConfig, SwarmConfigError, SwarmOutcome, SwarmStrategy,
+};
 pub use topology::{build_topology, Topology, TopologyKind};

@@ -133,6 +133,69 @@ impl SwarmConfig {
     }
 }
 
+/// Why a [`SwarmConfig`] cannot be built into a [`Swarm`]. Experiment
+/// grids sweep generated configs; a mis-sized cell must fail *that
+/// cell* with a diagnosis, not abort the whole grid with a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwarmConfigError {
+    /// Fewer than 3 peers: a swarm needs a roster to route around.
+    TooFewPeers {
+        /// Configured roster size.
+        peers: usize,
+    },
+    /// `seed_peers == 0`: nothing anchors coverage of the symbol pool.
+    NoSeedPeers,
+    /// `seed_peers >= peers`: no ordinary peer would ever download.
+    SeedPeersExceedRoster {
+        /// Configured full-pool peers.
+        seed_peers: usize,
+        /// Configured roster size.
+        peers: usize,
+    },
+    /// `init_fraction` outside `[0, 1]`.
+    InitFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The completion target exceeds the symbol pool: under this
+    /// `(blocks, distinct_factor, decode_overhead)` geometry no peer
+    /// can ever finish.
+    TargetExceedsPool {
+        /// Distinct symbols each peer must reach.
+        target: usize,
+        /// Distinct symbols that exist in the system.
+        pool: usize,
+    },
+    /// `link_profiles` is empty: connections have no parameters to take.
+    NoLinkProfiles,
+}
+
+impl std::fmt::Display for SwarmConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewPeers { peers } => {
+                write!(f, "a swarm needs at least 3 peers, got {peers}")
+            }
+            Self::NoSeedPeers => write!(f, "need at least one full seed peer"),
+            Self::SeedPeersExceedRoster { seed_peers, peers } => write!(
+                f,
+                "roster ({peers}) must exceed seed peers ({seed_peers})"
+            ),
+            Self::InitFractionOutOfRange { fraction } => {
+                write!(f, "init fraction must be in [0, 1], got {fraction}")
+            }
+            Self::TargetExceedsPool { target, pool } => write!(
+                f,
+                "completion target {target} exceeds the {pool}-symbol pool: \
+                 raise distinct_factor or lower decode_overhead"
+            ),
+            Self::NoLinkProfiles => write!(f, "need at least one link profile"),
+        }
+    }
+}
+
+impl std::error::Error for SwarmConfigError {}
+
 /// What a [`Swarm::run`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwarmOutcome {
@@ -146,6 +209,11 @@ pub struct SwarmOutcome {
     pub events: u64,
     /// Packets emitted by reconciliation links.
     pub packets: u64,
+    /// True framed wire bytes of the whole run: every frame booked at
+    /// send time across every link (the exact `write_frame_buf`
+    /// lengths), plus the wire-exact connect-time control exchange of
+    /// each packet link — handshakes and re-handshakes included.
+    pub wire_bytes: u64,
     /// Packets per needed symbol, summed over the whole roster — the
     /// figure-5 overhead metric at swarm scale.
     pub overhead: f64,
@@ -234,15 +302,38 @@ impl Swarm {
     /// Builds the initial swarm: symbol pool, per-peer inventories,
     /// engine nodes, and the generated topology's links. Deterministic
     /// in `(cfg, seed)`.
+    ///
+    /// Panics on an invalid config; experiment grids that must survive
+    /// mis-sized cells use [`Swarm::try_new`] instead.
     #[must_use]
     pub fn new(cfg: SwarmConfig, seed: u64) -> Self {
-        assert!(cfg.peers >= 3, "a swarm needs at least 3 peers");
-        assert!(cfg.seed_peers >= 1, "need at least one full seed peer");
-        assert!(cfg.seed_peers < cfg.peers, "roster must exceed seed peers");
-        assert!(
-            (0.0..=1.0).contains(&cfg.init_fraction),
-            "init fraction must be in [0, 1]"
-        );
+        Self::try_new(cfg, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Swarm::new`] returning a descriptive [`SwarmConfigError`]
+    /// instead of panicking — a mis-sized experiment cell fails that
+    /// cell, not the whole grid.
+    pub fn try_new(cfg: SwarmConfig, seed: u64) -> Result<Self, SwarmConfigError> {
+        if cfg.peers < 3 {
+            return Err(SwarmConfigError::TooFewPeers { peers: cfg.peers });
+        }
+        if cfg.seed_peers < 1 {
+            return Err(SwarmConfigError::NoSeedPeers);
+        }
+        if cfg.seed_peers >= cfg.peers {
+            return Err(SwarmConfigError::SeedPeersExceedRoster {
+                seed_peers: cfg.seed_peers,
+                peers: cfg.peers,
+            });
+        }
+        if !(0.0..=1.0).contains(&cfg.init_fraction) {
+            return Err(SwarmConfigError::InitFractionOutOfRange {
+                fraction: cfg.init_fraction,
+            });
+        }
+        if cfg.link_profiles.is_empty() {
+            return Err(SwarmConfigError::NoLinkProfiles);
+        }
         let params = ScenarioParams {
             num_blocks: cfg.blocks,
             distinct_factor: cfg.distinct_factor,
@@ -251,7 +342,12 @@ impl Swarm {
         };
         let pool = params.symbol_ids(params.distinct_symbols());
         let target = params.target();
-        assert!(target <= pool.len(), "target exceeds the symbol pool");
+        if target > pool.len() {
+            return Err(SwarmConfigError::TargetExceedsPool {
+                target,
+                pool: pool.len(),
+            });
+        }
 
         let mut swarm = Self {
             net: OverlayNet::new(seed),
@@ -279,7 +375,7 @@ impl Swarm {
             swarm.connect_pair(a, b);
             swarm.connect_pair(b, a);
         }
-        swarm
+        Ok(swarm)
     }
 
     /// The shared completion target (distinct symbols per peer).
@@ -611,6 +707,7 @@ impl Swarm {
             ticks: self.net.now(),
             events: self.net.events_processed(),
             packets,
+            wire_bytes: self.net.wire_bytes_sent() + self.net.control_wire_bytes(),
             overhead: if self.total_needed == 0 {
                 0.0
             } else {
@@ -628,9 +725,16 @@ impl Swarm {
 }
 
 /// Builds and runs a swarm in one call — the experiment-grid cell shape.
+/// Panics on an invalid config; grid drivers use [`try_run_swarm`].
 #[must_use]
 pub fn run_swarm(cfg: SwarmConfig, seed: u64) -> SwarmOutcome {
     Swarm::new(cfg, seed).run()
+}
+
+/// [`run_swarm`] surfacing config mistakes as a per-cell error instead
+/// of a grid-killing panic.
+pub fn try_run_swarm(cfg: SwarmConfig, seed: u64) -> Result<SwarmOutcome, SwarmConfigError> {
+    Ok(Swarm::try_new(cfg, seed)?.run())
 }
 
 #[cfg(test)]
@@ -648,6 +752,50 @@ mod tests {
         assert!(out.all_complete(), "completed {}/{}", out.completed, out.peers);
         assert_eq!(out.membership_events(), 0);
         assert!(out.overhead >= 1.0, "overhead {}", out.overhead);
+        // Every packet occupies at least an encoded-symbol frame.
+        assert!(
+            out.wire_bytes > out.packets * 1024,
+            "wire bytes {} must cover {} 1KB-payload frames",
+            out.wire_bytes,
+            out.packets
+        );
+    }
+
+    #[test]
+    fn mis_sized_cell_fails_itself_not_the_grid() {
+        // target = blocks·(1+overhead) > pool = blocks·distinct_factor:
+        // under the old assert this panicked out of the whole sweep.
+        let mut cfg = quiet(12, 60);
+        cfg.distinct_factor = 1.0;
+        cfg.decode_overhead = 0.07;
+        let err = try_run_swarm(cfg, 1).expect_err("impossible geometry");
+        assert!(matches!(err, SwarmConfigError::TargetExceedsPool { .. }));
+        assert!(err.to_string().contains("exceeds the"));
+        // The other validations surface the same way.
+        assert_eq!(
+            try_run_swarm(quiet(2, 60), 1).expect_err("tiny roster"),
+            SwarmConfigError::TooFewPeers { peers: 2 }
+        );
+        let mut cfg = quiet(12, 60);
+        cfg.seed_peers = 12;
+        assert!(matches!(
+            try_run_swarm(cfg, 1).expect_err("all seeds"),
+            SwarmConfigError::SeedPeersExceedRoster { .. }
+        ));
+        let mut cfg = quiet(12, 60);
+        cfg.init_fraction = 1.5;
+        assert!(matches!(
+            try_run_swarm(cfg, 1).expect_err("bad fraction"),
+            SwarmConfigError::InitFractionOutOfRange { .. }
+        ));
+        let mut cfg = quiet(12, 60);
+        cfg.link_profiles = Vec::new();
+        assert_eq!(
+            try_run_swarm(cfg, 1).expect_err("no profiles"),
+            SwarmConfigError::NoLinkProfiles
+        );
+        // A well-sized cell still runs through the checked path.
+        assert!(try_run_swarm(quiet(12, 60), 1).is_ok());
     }
 
     #[test]

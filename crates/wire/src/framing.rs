@@ -98,6 +98,43 @@ pub fn write_frame_buf<W: Write>(
     Ok(())
 }
 
+/// Reads one frame and returns it raw — length prefix *and* body — as a
+/// shared buffer, without decoding. Sans-I/O drivers use this to hand
+/// the exact wire bytes to a session machine (which decodes with
+/// [`Message::decode_from`] as a view of the same buffer) while
+/// accounting the true framed length. Returns [`FrameError::Closed`] on
+/// a clean EOF between frames.
+pub fn read_frame_bytes<R: Read>(
+    reader: &mut R,
+    limit: FrameLimit,
+) -> Result<bytes::Bytes, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match reader.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Err(FrameError::Closed),
+            0 => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > limit.max_bytes {
+        return Err(FrameError::TooLarge {
+            claimed: len,
+            limit: limit.max_bytes,
+        });
+    }
+    let mut frame = vec![0u8; 4 + len as usize];
+    frame[..4].copy_from_slice(&len_bytes);
+    reader.read_exact(&mut frame[4..])?;
+    Ok(bytes::Bytes::from(frame))
+}
+
 /// Reads one frame and decodes it. Returns [`FrameError::Closed`] if the
 /// stream ends exactly on a frame boundary (normal shutdown).
 pub fn read_frame<R: Read>(reader: &mut R, limit: FrameLimit) -> Result<Message, FrameError> {

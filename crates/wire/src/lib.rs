@@ -31,5 +31,8 @@ pub mod budget;
 pub mod framing;
 pub mod message;
 
-pub use framing::{read_frame, write_frame, FrameLimit};
-pub use message::{Message, WireError, SYMBOL_ID_BITS};
+pub use framing::{read_frame, read_frame_bytes, write_frame, write_frame_buf, FrameError, FrameLimit};
+pub use message::{
+    encoded_symbol_frame_len, recoded_symbol_frame_len, Message, WireError, FRAME_PREFIX_BYTES,
+    SYMBOL_ID_BITS,
+};

@@ -391,11 +391,81 @@ impl Message {
         }
     }
 
-    /// Encoded size in bytes.
+    /// Encoded size in bytes, computed in O(1) from the layout — no
+    /// allocation, no encoding pass. This is the data plane's length
+    /// budget: the engine charges every simulated packet the exact
+    /// number of bytes [`Message::encode_into`] would produce, and a
+    /// test pins the two to each other for every variant.
     #[must_use]
     pub fn encoded_size(&self) -> usize {
-        self.encode().len()
+        match self {
+            // tag + family seed + set size + (count + minima)
+            Message::Minwise(s) => 1 + 8 + 8 + 4 + 8 * s.minima().len(),
+            // tag + set size + (count + keys)
+            Message::RandomSample(s) => 1 + 8 + 4 + 8 * s.keys().len(),
+            // tag + modulus + set size + (count + hashed keys)
+            Message::ModK(s) => 1 + 8 + 8 + 4 + 8 * s.hashed_keys().len(),
+            // tag + summary id + element width + (length + body)
+            Message::Summary { body, .. } => 1 + 2 + 1 + 4 + body.len(),
+            Message::SymbolRequest { .. } | Message::End { .. } => 1 + 8,
+            Message::EncodedSymbol { payload, .. } => encoded_symbol_size(payload.len()),
+            Message::RecodedSymbol { components, payload } => {
+                recoded_symbol_size(components.len(), payload.len())
+            }
+        }
     }
+
+    /// Total bytes this message occupies on a framed stream: the
+    /// [`crate::framing`] u32 length prefix plus the encoded body.
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        FRAME_PREFIX_BYTES + self.encoded_size()
+    }
+
+    /// Whether `tag` opens a data-plane symbol frame (encoded or
+    /// recoded), as opposed to control traffic — the split byte-counting
+    /// drivers report.
+    #[must_use]
+    #[inline]
+    pub const fn is_data_tag(t: u8) -> bool {
+        t == tag::ENCODED_SYMBOL || t == tag::RECODED_SYMBOL
+    }
+}
+
+/// Bytes the length-prefixed framing layer adds to every message.
+pub const FRAME_PREFIX_BYTES: usize = 4;
+
+/// Encoded body size of an `EncodedSymbol` carrying `payload_len`
+/// payload bytes: tag + id + (length + payload).
+#[must_use]
+pub const fn encoded_symbol_size(payload_len: usize) -> usize {
+    1 + 8 + 4 + payload_len
+}
+
+/// Encoded body size of a `RecodedSymbol` with `components` component
+/// ids and `payload_len` payload bytes: tag + (count + ids) + (length +
+/// payload).
+#[must_use]
+pub const fn recoded_symbol_size(components: usize, payload_len: usize) -> usize {
+    1 + 4 + 8 * components + 4 + payload_len
+}
+
+/// Framed wire length of an `EncodedSymbol` message — what one encoded
+/// symbol actually costs on a stream. The discrete-event engine charges
+/// its links with this, so simulated byte totals equal the sum of
+/// `write_frame_buf` lengths for the equivalent real frames.
+#[must_use]
+#[inline]
+pub const fn encoded_symbol_frame_len(payload_len: usize) -> usize {
+    FRAME_PREFIX_BYTES + encoded_symbol_size(payload_len)
+}
+
+/// Framed wire length of a `RecodedSymbol` message (see
+/// [`encoded_symbol_frame_len`]).
+#[must_use]
+#[inline]
+pub const fn recoded_symbol_frame_len(components: usize, payload_len: usize) -> usize {
+    FRAME_PREFIX_BYTES + recoded_symbol_size(components, payload_len)
 }
 
 #[cfg(test)]
@@ -510,6 +580,57 @@ mod tests {
             components: vec![5, 8, 13],
             payload: Bytes::from(vec![0xAA; 16]),
         });
+    }
+
+    #[test]
+    fn encoded_size_matches_actual_encoding_for_every_variant() {
+        let family = PermutationFamily::standard(7);
+        let mut rng = Xoshiro256StarStar::new(11);
+        let universe = keys(300, 12);
+        let variants = vec![
+            Message::Minwise(MinwiseSketch::from_keys(&family, keys(200, 10))),
+            Message::RandomSample(RandomSample::draw(&universe, 64, &mut rng)),
+            Message::ModK(ModKSample::build(keys(2000, 13), 32)),
+            Message::Summary {
+                summary_id: 4,
+                body: vec![0xA5; 37],
+            },
+            Message::Summary {
+                summary_id: 0,
+                body: Vec::new(),
+            },
+            Message::SymbolRequest { count: 7 },
+            Message::End { sent: 31 },
+            Message::EncodedSymbol {
+                id: 9,
+                payload: Bytes::from(vec![1; 53]),
+            },
+            Message::EncodedSymbol {
+                id: 9,
+                payload: Bytes::new(),
+            },
+            Message::RecodedSymbol {
+                components: vec![1, 2, 3, 4, 5],
+                payload: Bytes::from(vec![2; 19]),
+            },
+        ];
+        let mut scratch = Vec::new();
+        for msg in &variants {
+            let encoded = msg.encode();
+            assert_eq!(msg.encoded_size(), encoded.len(), "size budget for {msg:?}");
+            // Framed length = prefix + body, cross-checked against the
+            // bytes write_frame_buf actually produces.
+            let mut framed = Vec::new();
+            crate::framing::write_frame_buf(&mut framed, msg, &mut scratch).expect("frame");
+            assert_eq!(msg.frame_len(), framed.len(), "frame budget for {msg:?}");
+        }
+        // The closed-form symbol helpers the engine charges links with.
+        assert_eq!(encoded_symbol_frame_len(53), 4 + 1 + 8 + 4 + 53);
+        assert_eq!(recoded_symbol_frame_len(5, 19), 4 + 1 + 4 + 40 + 4 + 19);
+        assert!(Message::is_data_tag(tag::ENCODED_SYMBOL));
+        assert!(Message::is_data_tag(tag::RECODED_SYMBOL));
+        assert!(!Message::is_data_tag(tag::MINWISE));
+        assert!(!Message::is_data_tag(tag::END));
     }
 
     #[test]

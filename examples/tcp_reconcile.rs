@@ -1,14 +1,16 @@
 //! Two peers reconciling over a real TCP connection on localhost: the
-//! session state machines from `icd-core` driven by the length-prefixed
-//! framing from `icd-wire`. Demonstrates that the protocol layer is
-//! transport-agnostic and that the control exchange really is a handful
-//! of small packets (sizes printed).
+//! same sans-I/O session machines the sim engine pumps, here driven by
+//! the blocking stream drivers from `icd-core`. Demonstrates that the
+//! protocol layer is transport-agnostic and that the byte counters are
+//! wire-exact — every number printed is a framed length (4-byte prefix
+//! included), not a payload approximation.
 //!
 //! Run with: `cargo run --release --example tcp_reconcile`
 
-use icd_core::{ReceiverSession, SenderSession, SessionConfig, WorkingSet};
+use icd_core::machine::{drive_receiver, drive_sender, ReceiverMachine, SenderMachine};
+use icd_core::{SessionConfig, WorkingSet};
 use icd_fountain::{EncodedSymbol, Encoder};
-use icd_wire::framing::{read_frame, write_frame, FrameError, FrameLimit};
+use icd_wire::framing::FrameLimit;
 use std::net::{TcpListener, TcpStream};
 
 fn main() {
@@ -23,75 +25,51 @@ fn main() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
 
-    // Sender side on its own thread, like a remote peer.
+    // Sender side on its own thread, like a remote peer: the identical
+    // machine the sim engine runs, behind a blocking driver.
     let sender_thread = std::thread::spawn(move || {
-        let (stream, _) = listener.accept().expect("accept");
-        serve(stream, sender_symbols);
+        let (mut stream, _) = listener.accept().expect("accept");
+        let working = WorkingSet::from_symbols(sender_symbols);
+        let mut machine = SenderMachine::new(working, 17);
+        let stats = drive_sender(&mut machine, &mut stream, FrameLimit::default())
+            .expect("sender drive");
+        (stats, machine.streamed())
     });
 
-    // Receiver side: connect, run the session, count bytes.
+    // Receiver side: connect, run the machine, read the wire counters.
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let mut working = WorkingSet::from_symbols(receiver_symbols);
+    let working = WorkingSet::from_symbols(receiver_symbols);
     let before = working.len();
     let config = SessionConfig::new().with_request((l / 2) as u64);
-    let (mut session, opening) = ReceiverSession::start(&working, config);
-    let mut control_bytes = 0usize;
-    let mut data_bytes = 0usize;
-    for msg in &opening {
-        control_bytes += msg.encoded_size();
-        write_frame(&mut stream, msg).expect("send opening");
-    }
-    while !(session.is_done() || session.was_rejected()) {
-        let msg = match read_frame(&mut stream, FrameLimit::default()) {
-            Ok(m) => m,
-            Err(FrameError::Closed) => break,
-            Err(e) => panic!("transport error: {e}"),
-        };
-        match &msg {
-            icd_wire::Message::EncodedSymbol { .. } | icd_wire::Message::RecodedSymbol { .. } => {
-                data_bytes += msg.encoded_size();
-            }
-            _ => control_bytes += msg.encoded_size(),
-        }
-        let replies = session.on_message(&mut working, &msg).expect("protocol");
-        for reply in &replies {
-            control_bytes += reply.encoded_size();
-            write_frame(&mut stream, reply).expect("send");
-        }
-    }
+    let mut machine = ReceiverMachine::new(working, config);
+    let stats =
+        drive_receiver(&mut machine, &mut stream, FrameLimit::default()).expect("receiver drive");
     drop(stream);
-    sender_thread.join().expect("sender thread");
+    let (sender_stats, streamed) = sender_thread.join().expect("sender thread");
 
+    let gained = machine.gained();
+    let plan = machine.plan().expect("plan");
+    let after = machine.working().len();
     println!("TCP reconciliation on {addr}:");
-    println!("  plan            : {:?}", session.plan().expect("plan"));
+    println!("  plan            : {plan:?}");
     println!("  symbols before  : {before}");
-    println!("  symbols after   : {} (+{})", working.len(), session.gained());
-    println!("  control traffic : {control_bytes} bytes (sketches, summary, request)");
-    println!("  data traffic    : {data_bytes} bytes");
-    assert!(session.gained() > 0, "transfer should have moved symbols");
+    println!("  symbols after   : {after} (+{gained})");
+    println!(
+        "  control traffic : {} bytes in {} frames (sketches, summary, request, end)",
+        stats.control_bytes, stats.frames
+    );
+    println!("  data traffic    : {} bytes", stats.data_bytes);
+    println!("  total wire      : {} bytes", stats.total());
+    assert!(gained > 0, "transfer should have moved symbols");
+    assert_eq!(streamed, gained, "sender streamed what the receiver gained");
+    // Both ends counted the same frames; their totals must agree exactly.
+    assert_eq!(
+        stats.total(),
+        sender_stats.total(),
+        "receiver and sender wire counters diverged"
+    );
     assert!(
-        control_bytes < 64 * 1024,
+        stats.control_bytes < 64 * 1024,
         "control plane must stay a handful of KB"
     );
-}
-
-/// The sender loop: feed inbound frames to the state machine, write its
-/// replies, exit when the stream closes or the session completes.
-fn serve(mut stream: TcpStream, symbols: Vec<EncodedSymbol>) {
-    let working = WorkingSet::from_symbols(symbols);
-    let mut session = SenderSession::new(working, 17);
-    loop {
-        let msg = match read_frame(&mut stream, FrameLimit::default()) {
-            Ok(m) => m,
-            Err(FrameError::Closed) => return,
-            Err(e) => panic!("sender transport error: {e}"),
-        };
-        let replies = session.on_message(&msg).expect("sender protocol");
-        for reply in &replies {
-            write_frame(&mut stream, reply).expect("sender write");
-        }
-        if session.is_done() {
-            return;
-        }
-    }
 }

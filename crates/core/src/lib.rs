@@ -38,8 +38,8 @@ pub mod summary;
 pub mod working_set;
 
 pub use machine::{
-    drive_receiver, drive_sender, FramePump, MachineError, ReceiverMachine, SenderMachine,
-    SessionAction, SessionEvent, WireStats,
+    drive_receiver, drive_receiver_with, drive_sender, DriveError, FramePump, MachineError,
+    ReceiverMachine, SenderMachine, SessionAction, SessionEvent, WireStats,
 };
 pub use policy::{plan_transfer, select_summary, PolicyKnobs, TransferPlan};
 #[allow(deprecated)]

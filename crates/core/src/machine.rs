@@ -565,10 +565,25 @@ impl WireStats {
 /// Errors from the blocking stream drivers.
 #[derive(Debug)]
 pub enum DriveError {
-    /// The transport failed (I/O error, oversized or garbled frame).
+    /// The transport failed (I/O error, oversized, truncated or garbled
+    /// frame).
     Transport(FrameError),
     /// The machine rejected an event.
     Machine(MachineError),
+    /// The peer closed the stream before the session finished. Carries
+    /// the counters for the frames that did cross, so a daemon can book
+    /// partial traffic before tearing the connection down.
+    PeerClosed {
+        /// Wire bytes moved before the premature close.
+        stats: WireStats,
+    },
+    /// A configured read timeout elapsed before the session finished —
+    /// the peer is alive-but-silent or gone without a FIN. The stream
+    /// must be discarded (a partial frame may be in flight).
+    ReadTimeout {
+        /// Wire bytes moved before the timeout.
+        stats: WireStats,
+    },
 }
 
 impl std::fmt::Display for DriveError {
@@ -576,6 +591,18 @@ impl std::fmt::Display for DriveError {
         match self {
             Self::Transport(e) => write!(f, "transport: {e}"),
             Self::Machine(e) => write!(f, "machine: {e}"),
+            Self::PeerClosed { stats } => write!(
+                f,
+                "peer closed mid-session after {} bytes in {} frames",
+                stats.total(),
+                stats.frames
+            ),
+            Self::ReadTimeout { stats } => write!(
+                f,
+                "read timeout mid-session after {} bytes in {} frames",
+                stats.total(),
+                stats.frames
+            ),
         }
     }
 }
@@ -595,63 +622,104 @@ impl From<MachineError> for DriveError {
 }
 
 fn execute<S: std::io::Write>(
-    actions: Vec<SessionAction>,
+    actions: &[SessionAction],
     stream: &mut S,
     stats: &mut WireStats,
 ) -> Result<(), DriveError> {
     for action in actions {
         if let SessionAction::SendFrame(frame) = action {
-            stats.count(&frame);
-            stream.write_all(&frame).map_err(FrameError::Io)?;
+            stats.count(frame);
+            stream.write_all(frame).map_err(FrameError::Io)?;
         }
     }
     Ok(())
 }
 
+/// Maps a mid-session read failure to the typed driver error. The drive
+/// loops only read while the machine is unfinished, so `Closed` here is
+/// always a *premature* close, never a normal shutdown.
+fn read_failure(e: FrameError, stats: WireStats) -> DriveError {
+    match e {
+        FrameError::Closed => DriveError::PeerClosed { stats },
+        FrameError::TimedOut => DriveError::ReadTimeout { stats },
+        other => DriveError::Transport(other),
+    }
+}
+
 /// Runs a [`ReceiverMachine`] over a blocking stream until the session
-/// finishes or the peer closes. Returns wire-exact byte counters for
-/// every frame that crossed the stream in either direction.
+/// finishes. Returns wire-exact byte counters for every frame that
+/// crossed the stream in either direction. A peer that closes or goes
+/// silent (with a socket read timeout set) before the session finishes
+/// yields [`DriveError::PeerClosed`] / [`DriveError::ReadTimeout`]
+/// carrying the partial counters.
 pub fn drive_receiver<S: std::io::Read + std::io::Write>(
     machine: &mut ReceiverMachine,
     stream: &mut S,
     limit: FrameLimit,
 ) -> Result<WireStats, DriveError> {
+    drive_receiver_with(machine, stream, limit, |_, _| {})
+}
+
+/// [`drive_receiver`] with a per-action observer: after each batch of
+/// reply frames is written, `observe` sees every action the machine
+/// emitted alongside the machine itself. A daemon uses this to ingest
+/// [`SessionAction::SymbolDecoded`] ids into a shared working set while
+/// the session is still running, so parallel sessions benefit from each
+/// other's progress.
+pub fn drive_receiver_with<S, F>(
+    machine: &mut ReceiverMachine,
+    stream: &mut S,
+    limit: FrameLimit,
+    mut observe: F,
+) -> Result<WireStats, DriveError>
+where
+    S: std::io::Read + std::io::Write,
+    F: FnMut(&SessionAction, &ReceiverMachine),
+{
     let mut stats = WireStats::default();
-    execute(machine.handle(SessionEvent::PeerConnected)?, stream, &mut stats)?;
+    let actions = machine.handle(SessionEvent::PeerConnected)?;
+    execute(&actions, stream, &mut stats)?;
+    for action in &actions {
+        observe(action, machine);
+    }
     while !machine.is_finished() {
         let frame = match read_frame_bytes(stream, limit) {
             Ok(frame) => frame,
-            Err(FrameError::Closed) => break,
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(read_failure(e, stats)),
         };
         stats.count(&frame);
-        execute(
-            machine.handle(SessionEvent::FrameReceived(frame))?,
-            stream,
-            &mut stats,
-        )?;
+        let actions = machine.handle(SessionEvent::FrameReceived(frame))?;
+        execute(&actions, stream, &mut stats)?;
+        for action in &actions {
+            observe(action, machine);
+        }
     }
     Ok(stats)
 }
 
 /// Runs a [`SenderMachine`] over a blocking stream: feed inbound frames,
-/// write replies, stop when the session completes or the peer closes.
+/// write replies, stop when the session completes. Premature peer close
+/// or read timeout becomes a typed [`DriveError`] like the receiver
+/// side's.
 pub fn drive_sender<S: std::io::Read + std::io::Write>(
     machine: &mut SenderMachine,
     stream: &mut S,
     limit: FrameLimit,
 ) -> Result<WireStats, DriveError> {
     let mut stats = WireStats::default();
-    execute(machine.handle(SessionEvent::PeerConnected)?, stream, &mut stats)?;
+    execute(
+        &machine.handle(SessionEvent::PeerConnected)?,
+        stream,
+        &mut stats,
+    )?;
     while !machine.is_finished() {
         let frame = match read_frame_bytes(stream, limit) {
             Ok(frame) => frame,
-            Err(FrameError::Closed) => break,
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(read_failure(e, stats)),
         };
         stats.count(&frame);
         execute(
-            machine.handle(SessionEvent::FrameReceived(frame))?,
+            &machine.handle(SessionEvent::FrameReceived(frame))?,
             stream,
             &mut stats,
         )?;
@@ -832,58 +900,61 @@ mod tests {
         ));
     }
 
+    // An in-memory duplex "socket": two Vec-backed half-channels.
+    // Exercises drive_receiver/drive_sender — the exact code the real
+    // daemon runs — without touching the network.
+    struct Half {
+        incoming: std::sync::mpsc::Receiver<Vec<u8>>,
+        outgoing: std::sync::mpsc::Sender<Vec<u8>>,
+        residue: Vec<u8>,
+    }
+    impl std::io::Read for Half {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            while self.residue.is_empty() {
+                match self.incoming.recv() {
+                    Ok(chunk) => self.residue = chunk,
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = buf.len().min(self.residue.len());
+            buf[..n].copy_from_slice(&self.residue[..n]);
+            self.residue.drain(..n);
+            Ok(n)
+        }
+    }
+    impl std::io::Write for Half {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            // A send after the peer hung up is a closed stream.
+            self.outgoing
+                .send(buf.to_vec())
+                .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))?;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn duplex() -> (Half, Half) {
+        let (a_tx, b_rx) = std::sync::mpsc::channel();
+        let (b_tx, a_rx) = std::sync::mpsc::channel();
+        (
+            Half {
+                incoming: a_rx,
+                outgoing: a_tx,
+                residue: Vec::new(),
+            },
+            Half {
+                incoming: b_rx,
+                outgoing: b_tx,
+                residue: Vec::new(),
+            },
+        )
+    }
+
     #[test]
     fn blocking_drivers_run_the_same_machines_over_a_duplex_pipe() {
-        // An in-memory duplex "socket": two Vec-backed half-channels.
-        // Exercises drive_receiver/drive_sender — the exact code the
-        // tcp_reconcile example runs — without touching the network.
-        use std::io::{Read, Write};
-        use std::sync::mpsc;
-
-        struct Half {
-            incoming: mpsc::Receiver<Vec<u8>>,
-            outgoing: mpsc::Sender<Vec<u8>>,
-            residue: Vec<u8>,
-        }
-        impl Read for Half {
-            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-                while self.residue.is_empty() {
-                    match self.incoming.recv() {
-                        Ok(chunk) => self.residue = chunk,
-                        Err(_) => return Ok(0),
-                    }
-                }
-                let n = buf.len().min(self.residue.len());
-                buf[..n].copy_from_slice(&self.residue[..n]);
-                self.residue.drain(..n);
-                Ok(n)
-            }
-        }
-        impl Write for Half {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                // A send after the peer hung up is a closed stream.
-                self.outgoing
-                    .send(buf.to_vec())
-                    .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))?;
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
-
-        let (a_tx, b_rx) = mpsc::channel();
-        let (b_tx, a_rx) = mpsc::channel();
-        let mut receiver_half = Half {
-            incoming: a_rx,
-            outgoing: a_tx,
-            residue: Vec::new(),
-        };
-        let mut sender_half = Half {
-            incoming: b_rx,
-            outgoing: b_tx,
-            residue: Vec::new(),
-        };
+        let (mut receiver_half, mut sender_half) = duplex();
 
         let (mut receiver, mut sender, fresh) = machines(1000);
         let sender_thread = std::thread::spawn(move || {
@@ -902,5 +973,125 @@ mod tests {
         assert_eq!(recv_stats, send_stats);
         assert!(recv_stats.data_bytes > recv_stats.control_bytes);
         assert!(recv_stats.control_bytes > 0);
+    }
+
+    #[test]
+    fn observer_sees_decoded_symbols_as_they_land() {
+        let (mut receiver_half, mut sender_half) = duplex();
+        let (mut receiver, mut sender, _) = machines(1000);
+        let sender_thread = std::thread::spawn(move || {
+            drive_sender(&mut sender, &mut sender_half, FrameLimit::default()).expect("sender")
+        });
+        let mut seen = Vec::new();
+        drive_receiver_with(
+            &mut receiver,
+            &mut receiver_half,
+            FrameLimit::default(),
+            |action, machine| {
+                if let SessionAction::SymbolDecoded(id) = action {
+                    // The machine's working set already holds the symbol
+                    // when the observer fires — live ingestion is sound.
+                    assert!(machine.working().contains(*id));
+                    seen.push(*id);
+                }
+            },
+        )
+        .expect("receiver");
+        drop(receiver_half);
+        sender_thread.join().expect("join");
+        assert_eq!(seen.len() as u64, receiver.gained());
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn peer_eof_mid_session_is_a_typed_error() {
+        // A stream that accepts the opening sketch then reports EOF:
+        // the driver must not report success for an unfinished session.
+        struct DeadAfterWrite;
+        impl std::io::Read for DeadAfterWrite {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+        }
+        impl std::io::Write for DeadAfterWrite {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (mut receiver, mut sender, _) = machines(10);
+        match drive_receiver(&mut receiver, &mut DeadAfterWrite, FrameLimit::default()) {
+            Err(DriveError::PeerClosed { stats }) => {
+                // The opening sketch frame was still booked.
+                assert_eq!(stats.frames, 1);
+                assert!(stats.control_bytes > 0);
+            }
+            other => panic!("expected PeerClosed, got {other:?}"),
+        }
+        assert!(!receiver.is_finished());
+        // The sender side never even saw a first frame: zero stats.
+        match drive_sender(&mut sender, &mut DeadAfterWrite, FrameLimit::default()) {
+            Err(DriveError::PeerClosed { stats }) => assert_eq!(stats.total(), 0),
+            other => panic!("expected PeerClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_mid_session_is_transport_error() {
+        // The peer dies three bytes into an eight-byte frame body.
+        struct TruncatedFrame {
+            data: std::io::Cursor<Vec<u8>>,
+        }
+        impl std::io::Read for TruncatedFrame {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::io::Read::read(&mut self.data, buf)
+            }
+        }
+        impl std::io::Write for TruncatedFrame {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 3]);
+        let mut stream = TruncatedFrame {
+            data: std::io::Cursor::new(wire),
+        };
+        let (mut receiver, _, _) = machines(10);
+        assert!(matches!(
+            drive_receiver(&mut receiver, &mut stream, FrameLimit::default()),
+            Err(DriveError::Transport(FrameError::Truncated { needed: 5, got: 7 }))
+        ));
+    }
+
+    #[test]
+    fn read_timeout_mid_session_is_a_typed_error() {
+        // A socket with a read timeout set surfaces WouldBlock/TimedOut;
+        // the driver maps it to ReadTimeout with the partial counters.
+        struct SilentPeer;
+        impl std::io::Read for SilentPeer {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        impl std::io::Write for SilentPeer {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (mut receiver, _, _) = machines(10);
+        match drive_receiver(&mut receiver, &mut SilentPeer, FrameLimit::default()) {
+            Err(DriveError::ReadTimeout { stats }) => assert_eq!(stats.frames, 1),
+            other => panic!("expected ReadTimeout, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,567 @@
+//! The peer runtime: one listener, many sessions, one shared set.
+//!
+//! A [`Node`] is a process-local peer in a [`crate::plan::SwarmPlan`]:
+//! it serves every inbound dial from a listener thread (completed peers
+//! keep seeding — the listener never closes while the node lives),
+//! fetches over its planned links with one thread per upstream peer,
+//! and funnels every decoded symbol through a [`SharedWorkingSet`].
+//! Addresses come from a [`Roster`] that speaks `icd-swarm`'s
+//! [`SwarmEvent`] membership vocabulary, so the same Join/Leave/Rejoin
+//! semantics the simulator's churn plans use drive a real deployment's
+//! address book.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use icd_core::machine::{DriveError, WireStats};
+use icd_core::{SessionConfig, WorkingSet};
+use icd_overlay::{session_machine_seeds, session_payload};
+use icd_swarm::{PeerId, SwarmEvent};
+
+use crate::connection::{fetch_session, serve_session, FetchOutcome, Hello, SessionEpoch};
+use crate::plan::{round_seed, DistributionSpec, SwarmPlan};
+use crate::shared::SharedWorkingSet;
+
+/// How a node is launched.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This peer's id in the plan (`0..spec.nodes`).
+    pub id: PeerId,
+    /// The swarm-wide distribution spec.
+    pub spec: DistributionSpec,
+    /// Listen address; use port 0 to let the OS pick.
+    pub listen: String,
+    /// Socket read timeout for both serve and fetch sessions. A dead
+    /// peer then surfaces as [`DriveError::ReadTimeout`] instead of
+    /// wedging its connection thread forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl NodeConfig {
+    /// Localhost config with an OS-assigned port and a generous
+    /// 30-second read timeout.
+    #[must_use]
+    pub fn local(id: PeerId, spec: DistributionSpec) -> Self {
+        Self {
+            id,
+            spec,
+            listen: "127.0.0.1:0".to_string(),
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// The peer address book, driven by [`SwarmEvent`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Roster {
+    live: HashMap<PeerId, SocketAddr>,
+    departed: HashMap<PeerId, SocketAddr>,
+    next_join: PeerId,
+}
+
+impl Roster {
+    /// An empty roster; [`Self::apply`]-joined peers get ids from
+    /// `next_join` upward.
+    #[must_use]
+    pub fn new(next_join: PeerId) -> Self {
+        Self {
+            live: HashMap::new(),
+            departed: HashMap::new(),
+            next_join,
+        }
+    }
+
+    /// Registers (or re-addresses) a live peer directly.
+    pub fn set(&mut self, peer: PeerId, addr: SocketAddr) {
+        self.live.insert(peer, addr);
+        self.next_join = self.next_join.max(peer + 1);
+    }
+
+    /// Address of a live peer (`None` while departed or unknown).
+    #[must_use]
+    pub fn addr(&self, peer: PeerId) -> Option<SocketAddr> {
+        self.live.get(&peer).copied()
+    }
+
+    /// Live peer count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no peers are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Applies one membership event. `addr` is required for `Join` (the
+    /// newcomer's address) and optional for `Rejoin` (a returning peer
+    /// may come back on a new address; otherwise its old one is
+    /// restored). Returns the affected peer, or `None` when the event
+    /// cannot apply (unknown peer, rejoin of someone never seen).
+    pub fn apply(&mut self, event: SwarmEvent, addr: Option<SocketAddr>) -> Option<PeerId> {
+        match event {
+            SwarmEvent::Join => {
+                let id = self.next_join;
+                self.live.insert(id, addr?);
+                self.next_join += 1;
+                Some(id)
+            }
+            SwarmEvent::Leave(p) => {
+                let addr = self.live.remove(&p)?;
+                self.departed.insert(p, addr);
+                Some(p)
+            }
+            SwarmEvent::Rejoin(p) => {
+                let restored = addr.or_else(|| self.departed.remove(&p))?;
+                self.departed.remove(&p);
+                self.live.insert(p, restored);
+                Some(p)
+            }
+            // Rewire is a connection-level event: the address book is
+            // unchanged; the caller re-dials.
+            SwarmEvent::Rewire(p) => self.live.contains_key(&p).then_some(p),
+        }
+    }
+}
+
+/// One fetch's result as the harness reports it.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchReport {
+    /// Upstream (serving) peer.
+    pub from: PeerId,
+    /// Reconciliation round the session ran in.
+    pub round: u32,
+    /// Session seed the round ran under ([`round_seed`] of the link).
+    pub seed: u64,
+    /// The session outcome, or the error that ended it.
+    pub outcome: Result<FetchOutcome, &'static str>,
+    /// Wire bytes moved (both directions, hello excluded); also
+    /// populated for failed sessions from the error's partial counters.
+    pub stats: WireStats,
+}
+
+/// Barrier-frozen per-round session state.
+///
+/// `OverlayNet` freezes every endpoint's snapshot at `connect_session`
+/// time, before any frame of the round moves; byte parity with the
+/// simulator therefore requires the daemon to do the same. Each
+/// [`Node::advance_round`] call is one such barrier: it refreshes the
+/// sender inventory exactly like the engine's `refresh_inventory`
+/// (fresh ids appended in sorted order) and freezes both the serve
+/// snapshot and the receiver's sorted snapshot + request for the round.
+#[derive(Debug)]
+struct Rounds {
+    /// Sender inventory in the engine's canonical order: the initial
+    /// share, then each barrier's fresh ids appended in sorted order.
+    inventory: Vec<u64>,
+    /// Frozen serve (sender-side) snapshots, indexed by round.
+    serve: Vec<WorkingSet>,
+    /// Frozen receiver state per round — sorted snapshot ids and the
+    /// request count — or `None` when the node was already complete at
+    /// that barrier and dials nobody.
+    fetch: Vec<Option<(Vec<u64>, u64)>>,
+}
+
+/// A running peer: listener thread + shared working set.
+pub struct Node {
+    config: NodeConfig,
+    plan: SwarmPlan,
+    shared: Arc<SharedWorkingSet>,
+    rounds: Arc<Mutex<Rounds>>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    serve_log: Arc<Mutex<Vec<(u32, WireStats)>>>,
+}
+
+impl Node {
+    /// Binds the listener, spawns the accept loop, and returns the
+    /// running node. The node serves immediately; fetching is a
+    /// separate, explicit step ([`Self::run_fetches`]).
+    ///
+    /// # Errors
+    /// Socket bind/configuration failures.
+    pub fn start(config: NodeConfig) -> io::Result<Self> {
+        let plan = SwarmPlan::new(config.spec);
+        let share = &plan.shares[config.id];
+        let payload = config.spec.payload;
+        let initial_inventory = WorkingSet::from_symbols(share.iter().map(|&id| {
+            icd_fountain::EncodedSymbol {
+                id,
+                payload: session_payload(id, payload),
+            }
+        }));
+        let shared = Arc::new(SharedWorkingSet::new(
+            initial_inventory.clone(),
+            config.spec.universe,
+        ));
+        let missing = config.spec.universe - share.len();
+        let mut sorted_share = share.clone();
+        sorted_share.sort_unstable();
+        let round0_fetch = if missing == 0 {
+            None
+        } else {
+            Some((sorted_share, missing as u64))
+        };
+        let rounds = Arc::new(Mutex::new(Rounds {
+            inventory: share.clone(),
+            serve: vec![initial_inventory],
+            fetch: vec![round0_fetch],
+        }));
+        let listener = TcpListener::bind(&config.listen)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve_log = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = stop.clone();
+        let accept_shared = shared.clone();
+        let accept_rounds = rounds.clone();
+        let accept_log = serve_log.clone();
+        let read_timeout = config.read_timeout;
+        let accept_thread = std::thread::spawn(move || {
+            let mut sessions = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = accept_shared.clone();
+                let rounds = accept_rounds.clone();
+                let log = accept_log.clone();
+                sessions.push(std::thread::spawn(move || {
+                    let _ = serve_one(stream, read_timeout, &rounds, &shared, &log);
+                }));
+            }
+            for s in sessions {
+                let _ = s.join();
+            }
+        });
+
+        Ok(Self {
+            config,
+            plan,
+            shared,
+            rounds,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            serve_log,
+        })
+    }
+
+    /// The bound listen address (real port when the config said 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The node's shared working set.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<SharedWorkingSet> {
+        &self.shared
+    }
+
+    /// The expanded plan this node follows.
+    #[must_use]
+    pub fn plan(&self) -> &SwarmPlan {
+        &self.plan
+    }
+
+    /// Per-dialer serve-side wire counters recorded so far.
+    #[must_use]
+    pub fn serve_stats(&self) -> Vec<(u32, WireStats)> {
+        self.serve_log.lock().expect("serve log lock").clone()
+    }
+
+    /// The reconciliation round the node is currently in (0-based).
+    #[must_use]
+    pub fn current_round(&self) -> u32 {
+        (self.rounds.lock().expect("rounds lock").serve.len() - 1) as u32
+    }
+
+    /// One round barrier: refreshes the sender inventory the way the
+    /// engine's `refresh_inventory` does (fresh ids appended in sorted
+    /// order) and freezes both sides' snapshots for the new round.
+    /// Returns the new round number.
+    ///
+    /// The harness calls this on *every* node before any node dials the
+    /// next round — only then do both worlds agree on every endpoint's
+    /// state, which is what makes per-round byte parity exact.
+    pub fn advance_round(&self) -> u32 {
+        let mut rounds = self.rounds.lock().expect("rounds lock");
+        let held = self.shared.sorted_ids();
+        let have: HashSet<u64> = rounds.inventory.iter().copied().collect();
+        // `held` is sorted, so the fresh suffix lands in sorted order.
+        let fresh: Vec<u64> = held
+            .iter()
+            .copied()
+            .filter(|id| !have.contains(id))
+            .collect();
+        rounds.inventory.extend(fresh);
+        let payload = self.config.spec.payload;
+        let serve = WorkingSet::from_symbols(rounds.inventory.iter().map(|&id| {
+            icd_fountain::EncodedSymbol {
+                id,
+                payload: session_payload(id, payload),
+            }
+        }));
+        rounds.serve.push(serve);
+        let missing = self.config.spec.universe.saturating_sub(held.len());
+        rounds.fetch.push(if missing == 0 {
+            None
+        } else {
+            Some((held, missing as u64))
+        });
+        (rounds.serve.len() - 1) as u32
+    }
+
+    /// Runs every planned fetch of this node concurrently — one thread
+    /// per upstream peer — and returns the reports in plan order.
+    /// Sessions construct their receiver machines exactly as
+    /// `OverlayNet::connect_session` does: snapshot = the ids held at
+    /// the round barrier, sorted; request = symbols missing at the
+    /// barrier; machine seed derived from [`round_seed`] of the link.
+    /// A node that was complete at the barrier dials nobody. Peers
+    /// missing from `roster` report `"peer not in roster"` without
+    /// dialing.
+    #[must_use]
+    pub fn run_fetches(&self, roster: &Roster) -> Vec<FetchReport> {
+        let (round, frozen) = {
+            let rounds = self.rounds.lock().expect("rounds lock");
+            (
+                (rounds.serve.len() - 1) as u32,
+                rounds.fetch.last().cloned().flatten(),
+            )
+        };
+        let Some((snapshot_ids, request)) = frozen else {
+            return Vec::new();
+        };
+        let fetches: Vec<_> = self.plan.fetches_of(self.config.id).copied().collect();
+        let handles: Vec<_> = fetches
+            .into_iter()
+            .map(|link| {
+                let addr = roster.addr(link.from);
+                let payload = self.config.spec.payload;
+                let id = self.config.id;
+                let ids = snapshot_ids.clone();
+                let shared = self.shared.clone();
+                let timeout = self.config.read_timeout;
+                let seed = round_seed(link.seed, round);
+                std::thread::spawn(move || {
+                    fetch_one(
+                        link.from, round, seed, addr, payload, id, &ids, request, &shared, timeout,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fetch thread panicked"))
+            .collect()
+    }
+
+    /// Stops the listener and joins every serve thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// The frozen round-0 inventory (diagnostics).
+    #[must_use]
+    pub fn initial_inventory(&self) -> WorkingSet {
+        self.rounds.lock().expect("rounds lock").serve[0].clone()
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one accepted connection: hello, snapshot per the requested
+/// epoch, one sender session.
+fn serve_one(
+    mut stream: TcpStream,
+    read_timeout: Option<Duration>,
+    rounds: &Mutex<Rounds>,
+    shared: &SharedWorkingSet,
+    log: &Mutex<Vec<(u32, WireStats)>>,
+) -> Result<(), DriveError> {
+    let _ = stream.set_read_timeout(read_timeout);
+    let _ = stream.set_nodelay(true);
+    let Ok(hello) = Hello::read_from(&mut stream) else {
+        return Ok(()); // not a protocol peer (e.g. the stop wake-up)
+    };
+    let (_, sender_seed) = session_machine_seeds(hello.seed);
+    let snapshot = match hello.epoch {
+        // A dialer ahead of our barrier (only possible without the
+        // harness's lockstep) gets the live set — completion still
+        // works; exact parity is a barrier-mode guarantee.
+        SessionEpoch::Round(r) => {
+            let frozen = rounds.lock().expect("rounds lock").serve.get(r as usize).cloned();
+            frozen.unwrap_or_else(|| shared.snapshot())
+        }
+        SessionEpoch::Live => shared.snapshot(),
+    };
+    let stats = match serve_session(&mut stream, snapshot, sender_seed) {
+        Ok(stats)
+        | Err(DriveError::PeerClosed { stats } | DriveError::ReadTimeout { stats }) => stats,
+        Err(e) => return Err(e),
+    };
+    log.lock().expect("serve log lock").push((hello.dialer, stats));
+    Ok(())
+}
+
+/// Dials `from` and runs one fetch session, mirroring the engine's
+/// receiver-side construction.
+#[allow(clippy::too_many_arguments)]
+fn fetch_one(
+    from: PeerId,
+    round: u32,
+    seed: u64,
+    addr: Option<SocketAddr>,
+    payload: usize,
+    id: PeerId,
+    snapshot_ids: &[u64],
+    request: u64,
+    shared: &SharedWorkingSet,
+    timeout: Option<Duration>,
+) -> FetchReport {
+    let fail = |msg: &'static str, stats: WireStats| FetchReport {
+        from,
+        round,
+        seed,
+        outcome: Err(msg),
+        stats,
+    };
+    let Some(addr) = addr else {
+        return fail("peer not in roster", WireStats::default());
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return fail("connect failed", WireStats::default());
+    };
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_nodelay(true);
+    let hello = Hello {
+        dialer: id as u32,
+        seed,
+        epoch: SessionEpoch::Round(round as u8),
+    };
+    if hello.write_to(&mut stream).is_err() {
+        return fail("hello write failed", WireStats::default());
+    }
+
+    // Receiver snapshot exactly as `connect_session` builds it: the
+    // ids held at the barrier, *sorted*, expanded through the shared
+    // payload convention.
+    let snapshot = WorkingSet::from_symbols(snapshot_ids.iter().map(|&sym_id| {
+        icd_fountain::EncodedSymbol {
+            id: sym_id,
+            payload: session_payload(sym_id, payload),
+        }
+    }));
+    let (receiver_seed, _) = session_machine_seeds(seed);
+    let config = SessionConfig::new()
+        .with_request(request)
+        .with_seed(receiver_seed);
+
+    match fetch_session(&mut stream, snapshot, config, shared) {
+        Ok(outcome) => FetchReport {
+            from,
+            round,
+            seed,
+            outcome: Ok(outcome),
+            stats: outcome.stats,
+        },
+        Err(DriveError::PeerClosed { stats }) => fail("peer closed mid-session", stats),
+        Err(DriveError::ReadTimeout { stats }) => fail("read timeout", stats),
+        Err(DriveError::Transport(_)) => fail("transport error", WireStats::default()),
+        Err(DriveError::Machine(_)) => fail("machine error", WireStats::default()),
+    }
+}
+
+/// Parses a roster token list like `0=127.0.0.1:4000 2=10.0.0.7:4001`
+/// (whitespace- or comma-separated), as accepted by the binary's
+/// `--roster` flag, the `ICD_NODE_ROSTER` environment variable, and the
+/// harness `ROSTER` stdin command.
+///
+/// # Errors
+/// Returns a description of the first malformed token.
+pub fn parse_roster(text: &str, next_join: PeerId) -> Result<Roster, String> {
+    let mut roster = Roster::new(next_join);
+    for token in text.split([' ', ',', '\t']).filter(|t| !t.is_empty()) {
+        let (id, addr) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected id=addr, got {token:?}"))?;
+        let id: PeerId = id.parse().map_err(|_| format!("bad peer id {id:?}"))?;
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("bad addr {addr:?}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("unresolvable addr {addr:?}"))?;
+        roster.set(id, addr);
+    }
+    Ok(roster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().expect("addr")
+    }
+
+    #[test]
+    fn roster_speaks_the_swarm_event_vocabulary() {
+        let mut roster = parse_roster("0=127.0.0.1:4000, 1=127.0.0.1:4001", 2).expect("parse");
+        assert_eq!(roster.len(), 2);
+        assert_eq!(roster.addr(0), Some(addr(4000)));
+
+        // Leave hides the peer; rejoin restores its old address.
+        assert_eq!(roster.apply(SwarmEvent::Leave(1), None), Some(1));
+        assert_eq!(roster.addr(1), None);
+        assert_eq!(roster.apply(SwarmEvent::Rejoin(1), None), Some(1));
+        assert_eq!(roster.addr(1), Some(addr(4001)));
+
+        // Rejoin on a new address wins over the stored one.
+        roster.apply(SwarmEvent::Leave(1), None);
+        assert_eq!(roster.apply(SwarmEvent::Rejoin(1), Some(addr(5001))), Some(1));
+        assert_eq!(roster.addr(1), Some(addr(5001)));
+
+        // Join appends at next_join.
+        assert_eq!(roster.apply(SwarmEvent::Join, Some(addr(6000))), Some(2));
+        assert_eq!(roster.addr(2), Some(addr(6000)));
+        // A join without an address cannot apply.
+        assert_eq!(roster.apply(SwarmEvent::Join, None), None);
+
+        // Rewire leaves the address book alone.
+        assert_eq!(roster.apply(SwarmEvent::Rewire(0), None), Some(0));
+        assert_eq!(roster.addr(0), Some(addr(4000)));
+        assert_eq!(roster.apply(SwarmEvent::Rewire(99), None), None);
+
+        // Unknown leaves/rejoins are rejected, not panics.
+        assert_eq!(roster.apply(SwarmEvent::Leave(42), None), None);
+        assert_eq!(roster.apply(SwarmEvent::Rejoin(42), None), None);
+    }
+
+    #[test]
+    fn roster_parse_rejects_malformed_tokens() {
+        assert!(parse_roster("0:127.0.0.1:4000", 1).is_err());
+        assert!(parse_roster("x=127.0.0.1:4000", 1).is_err());
+        assert!(parse_roster("0=not-an-addr", 1).is_err());
+    }
+}

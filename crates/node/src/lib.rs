@@ -1,0 +1,42 @@
+//! A real networked peer: the §3 reconciliation protocol over TCP.
+//!
+//! Everything below the socket is shared with the rest of the
+//! workspace — the sans-I/O [`icd_core::ReceiverMachine`] /
+//! [`icd_core::SenderMachine`] pair emits the exact `icd-wire` frames
+//! the discrete-event simulator books, so a swarm of OS processes and
+//! an [`icd_overlay::OverlayNet`] run of the same topology and seed
+//! move **byte-identical traffic on every link**. That is the crate's
+//! load-bearing claim, and `tests/swarm_harness.rs` enforces it by
+//! spawning real daemons and diffing their per-link wire counters
+//! against [`plan::predict`].
+//!
+//! * [`plan`] — the deterministic distribution plan: universe ids,
+//!   per-node initial shares, directed session links with per-link
+//!   seeds, all pure functions of a [`plan::DistributionSpec`]; plus
+//!   the simulator-backed [`plan::predict`] oracle.
+//! * [`shared`] — the one working set a node's connection threads
+//!   share: mutex-guarded cross-session symbol ingestion with
+//!   duplicate-free distinct counting.
+//! * [`connection`] — per-connection drivers: the dialer-side
+//!   [`connection::fetch_session`], the listener-side
+//!   [`connection::serve_session`], and the tiny hello preamble that
+//!   carries `(dialer, link seed, epoch)` ahead of the first frame.
+//! * [`daemon`] — the peer runtime: listener thread serving many
+//!   inbound sessions, parallel fetches, and a roster speaking
+//!   `icd-swarm`'s [`icd_swarm::SwarmEvent`] membership vocabulary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connection;
+pub mod daemon;
+pub mod plan;
+pub mod shared;
+
+pub use connection::{fetch_session, serve_session, FetchOutcome, Hello, HelloError, SessionEpoch};
+pub use daemon::{FetchReport, Node, NodeConfig, Roster};
+pub use plan::{
+    link_seed, predict, round_seed, DistributionSpec, PlannedLink, Prediction, SpecParseError,
+    SwarmPlan, MAX_ROUNDS,
+};
+pub use shared::SharedWorkingSet;

@@ -1,0 +1,223 @@
+//! `icd-node` — a real peer process.
+//!
+//! ```text
+//! icd-node --id 2 --spec seed=7,nodes=5,seeders=1,universe=80,share=30,payload=64,topo=ring2 \
+//!          [--listen 127.0.0.1:0] [--roster "0=127.0.0.1:4000 1=127.0.0.1:4001"] \
+//!          [--timeout-ms 30000] [--harness]
+//! ```
+//!
+//! Every process derives the identical distribution plan from `--spec`
+//! alone (see `icd_node::plan`); the roster only maps peer ids to
+//! addresses. On start the node prints `LISTEN <addr>` and begins
+//! serving. With `--roster` it immediately fetches over its planned
+//! links, prints one `FETCH` line per session and a final `DONE` line,
+//! then keeps seeding until stdin closes. With `--harness` it instead
+//! waits for commands on stdin (the multi-process test protocol):
+//!
+//! ```text
+//! ROSTER 0=addr 1=addr ...   replace the address book
+//! GO                         run current round's fetches, print FETCH*/DONE
+//! ROUND                      round barrier: freeze next round's snapshots
+//! EVENT LEAVE <id>           apply membership events to the roster
+//! EVENT REJOIN <id> [addr]
+//! EVENT JOIN <addr>
+//! EVENT REWIRE <id>
+//! QUIT                       stop serving and exit
+//! ```
+//!
+//! The harness sends `ROUND` to **every** node (and collects every
+//! `ROUND-OK`) before sending any `GO` — that barrier is what makes the
+//! swarm's per-link wire bytes exactly match the simulator, which
+//! freezes all snapshots at connect time.
+//!
+//! The spec and roster can also come from `ICD_NODE_SPEC` /
+//! `ICD_NODE_ROSTER` environment variables (flags win).
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use icd_node::daemon::parse_roster;
+use icd_node::{DistributionSpec, Node, NodeConfig, Roster};
+use icd_swarm::SwarmEvent;
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("icd-node: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    id: usize,
+    spec: DistributionSpec,
+    listen: String,
+    roster: Option<String>,
+    timeout_ms: u64,
+    harness: bool,
+}
+
+fn parse_args() -> Args {
+    let mut id = None;
+    let mut spec = std::env::var("ICD_NODE_SPEC").ok();
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut roster = std::env::var("ICD_NODE_ROSTER").ok();
+    let mut timeout_ms = 30_000;
+    let mut harness = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fatal(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--id" => {
+                id = Some(value("--id").parse().unwrap_or_else(|_| fatal("bad --id")));
+            }
+            "--spec" => spec = Some(value("--spec")),
+            "--listen" => listen = value("--listen"),
+            "--roster" => roster = Some(value("--roster")),
+            "--timeout-ms" => {
+                timeout_ms = value("--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fatal("bad --timeout-ms"));
+            }
+            "--harness" => harness = true,
+            other => fatal(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let Some(id) = id else { fatal("--id is required") };
+    let Some(spec) = spec else {
+        fatal("--spec (or ICD_NODE_SPEC) is required")
+    };
+    let spec: DistributionSpec = spec
+        .parse()
+        .unwrap_or_else(|e| fatal(&format!("bad spec: {e}")));
+    if id >= spec.nodes {
+        fatal(&format!("--id {id} outside roster 0..{}", spec.nodes));
+    }
+    Args {
+        id,
+        spec,
+        listen,
+        roster,
+        timeout_ms,
+        harness,
+    }
+}
+
+/// Runs the current round's fetches and prints the harness report lines.
+fn go(node: &Node, roster: &Roster, my_id: usize) {
+    let mut out = std::io::stdout().lock();
+    for report in node.run_fetches(roster) {
+        let (gained, status): (u64, String) = match report.outcome {
+            Ok(outcome) => (outcome.gained, "ok".to_string()),
+            Err(msg) => (0, msg.replace(' ', "-")),
+        };
+        writeln!(
+            out,
+            "FETCH {} {} {} {} {} {} {}",
+            report.round,
+            report.from,
+            my_id,
+            report.stats.total(),
+            report.stats.frames,
+            gained,
+            status
+        )
+        .expect("stdout");
+    }
+    let shared = node.shared();
+    writeln!(
+        out,
+        "DONE {} {}",
+        shared.distinct(),
+        u8::from(shared.is_complete())
+    )
+    .expect("stdout");
+    out.flush().expect("stdout");
+}
+
+fn apply_event(roster: &mut Roster, words: &[&str]) {
+    let parse_addr = |s: &str| s.parse().ok();
+    let applied = match words {
+        ["LEAVE", id] => id
+            .parse()
+            .ok()
+            .and_then(|p| roster.apply(SwarmEvent::Leave(p), None)),
+        ["REJOIN", id] => id
+            .parse()
+            .ok()
+            .and_then(|p| roster.apply(SwarmEvent::Rejoin(p), None)),
+        ["REJOIN", id, addr] => match (id.parse().ok(), parse_addr(addr)) {
+            (Some(p), a @ Some(_)) => roster.apply(SwarmEvent::Rejoin(p), a),
+            _ => None,
+        },
+        ["JOIN", addr] => roster.apply(SwarmEvent::Join, parse_addr(addr)),
+        ["REWIRE", id] => id
+            .parse()
+            .ok()
+            .and_then(|p| roster.apply(SwarmEvent::Rewire(p), None)),
+        _ => None,
+    };
+    match applied {
+        Some(p) => println!("EVENT-OK {p}"),
+        None => println!("EVENT-ERR"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let config = NodeConfig {
+        id: args.id,
+        spec: args.spec,
+        listen: args.listen.clone(),
+        read_timeout: Some(Duration::from_millis(args.timeout_ms)),
+    };
+    let mut node = Node::start(config).unwrap_or_else(|e| fatal(&format!("bind failed: {e}")));
+    println!("LISTEN {}", node.local_addr());
+    std::io::stdout().flush().expect("stdout");
+
+    let mut roster = match &args.roster {
+        Some(text) => parse_roster(text, args.spec.nodes)
+            .unwrap_or_else(|e| fatal(&format!("bad roster: {e}"))),
+        None => Roster::new(args.spec.nodes),
+    };
+
+    if !args.harness && args.roster.is_some() {
+        // Standalone reconciliation loop. Without a cross-process
+        // barrier the per-round snapshots are only locally consistent
+        // (peers ahead of us serve their live set), so this mode
+        // guarantees completion, not simulator byte parity — the
+        // harness protocol below provides the lockstep for that.
+        go(&node, &roster, args.id);
+        while !node.shared().is_complete() && node.current_round() + 1 < icd_node::MAX_ROUNDS {
+            node.advance_round();
+            go(&node, &roster, args.id);
+        }
+    }
+
+    // Serve until stdin closes (or QUIT); the harness drives commands
+    // over the same channel.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["QUIT"] => break,
+            ["GO"] => go(&node, &roster, args.id),
+            ["ROUND"] => println!("ROUND-OK {}", node.advance_round()),
+            ["ROSTER", rest @ ..] => match parse_roster(&rest.join(" "), args.spec.nodes) {
+                Ok(r) => {
+                    roster = r;
+                    println!("ROSTER-OK {}", roster.len());
+                }
+                Err(e) => println!("ROSTER-ERR {}", e.replace(' ', "-")),
+            },
+            ["EVENT", rest @ ..] => apply_event(&mut roster, rest),
+            other => println!("ERR unknown-command {}", other.join("-")),
+        }
+        std::io::stdout().flush().expect("stdout");
+    }
+    node.stop();
+}

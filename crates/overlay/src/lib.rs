@@ -42,7 +42,10 @@ pub mod scenario;
 pub mod strategy;
 pub mod transfer;
 
-pub use net::{session_payload, ConnectError, Link, LinkId, NodeId, OverlayNet, StopReason};
+pub use net::{
+    session_machine_seeds, session_payload, ConnectError, Link, LinkId, NodeId, OverlayNet,
+    StopReason,
+};
 pub use receiver::Receiver;
 pub use scenario::{MultiSenderScenario, ScenarioParams, TwoPeerScenario};
 pub use strategy::{Packet, Sender, StrategyKind};

@@ -399,6 +399,21 @@ const LOSS_SEED_SALT: u64 = 0x1055_1CD0;
 const SESSION_SEED_SALT: u64 = 0x5E55_10A1;
 const SESSION_SENDER_SALT: u64 = 0x5E55_5E4D;
 
+/// The `(receiver-config, sender)` machine seeds a session link derives
+/// from its link seed — the derivation [`OverlayNet::connect_session`]
+/// applies, exported so external drivers (the `icd-node` peer daemon)
+/// can pump machines that are byte-identical to the engine's for the
+/// same topology and seed. Frame *lengths* are a function of the
+/// working sets and request alone, but frame *contents* (which symbols
+/// stream, candidate shuffle order) follow these seeds.
+#[must_use]
+pub fn session_machine_seeds(seed: u64) -> (u64, u64) {
+    (
+        mix64(seed ^ SESSION_SEED_SALT),
+        mix64(seed ^ SESSION_SENDER_SALT),
+    )
+}
+
 /// Deterministic payload a symbol id expands to on a session link: `len`
 /// bytes of SplitMix64 keystream keyed by the id. Engine nodes track
 /// ids, not payloads; this function is the shared convention that lets
@@ -865,11 +880,12 @@ impl<'s> OverlayNet<'s> {
                 .map(|&id| session_symbol(id, payload)),
         );
         let request = self.nodes[to.0].receiver.remaining().max(1) as u64;
+        let (receiver_seed, sender_seed) = session_machine_seeds(seed);
         let config = SessionConfig::new()
             .with_request(request)
-            .with_seed(mix64(seed ^ SESSION_SEED_SALT));
+            .with_seed(receiver_seed);
         let mut receiver = ReceiverMachine::new(receiver_ws, config);
-        let mut sender = SenderMachine::new(sender_ws, mix64(seed ^ SESSION_SENDER_SALT));
+        let mut sender = SenderMachine::new(sender_ws, sender_seed);
         let mut to_sender = VecDeque::new();
         for action in receiver
             .handle(SessionEvent::PeerConnected)

@@ -47,6 +47,19 @@ pub enum FrameError {
     Wire(WireError),
     /// The stream ended cleanly between frames.
     Closed,
+    /// The stream ended *inside* a frame: the peer promised `needed`
+    /// more bytes (header or body) and delivered only `got` before EOF.
+    /// Distinct from [`FrameError::Closed`] so a driver can tell a
+    /// normal shutdown from a truncated transfer.
+    Truncated {
+        /// Bytes the current frame still required.
+        needed: usize,
+        /// Bytes actually received before the stream ended.
+        got: usize,
+    },
+    /// A configured read timeout elapsed mid-read. The stream may hold a
+    /// partial frame and must not be reused for framed traffic.
+    TimedOut,
 }
 
 impl std::fmt::Display for FrameError {
@@ -58,6 +71,10 @@ impl std::fmt::Display for FrameError {
             }
             Self::Wire(e) => write!(f, "frame decode failed: {e}"),
             Self::Closed => write!(f, "stream closed"),
+            Self::Truncated { needed, got } => {
+                write!(f, "stream ended inside a frame: got {got} of {} bytes", needed + got)
+            }
+            Self::TimedOut => write!(f, "read timeout elapsed mid-frame"),
         }
     }
 }
@@ -66,7 +83,14 @@ impl std::error::Error for FrameError {}
 
 impl From<std::io::Error> for FrameError {
     fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            Self::TimedOut
+        } else {
+            Self::Io(e)
+        }
     }
 }
 
@@ -98,30 +122,60 @@ pub fn write_frame_buf<W: Write>(
     Ok(())
 }
 
-/// Reads one frame and returns it raw — length prefix *and* body — as a
-/// shared buffer, without decoding. Sans-I/O drivers use this to hand
-/// the exact wire bytes to a session machine (which decodes with
-/// [`Message::decode_from`] as a view of the same buffer) while
-/// accounting the true framed length. Returns [`FrameError::Closed`] on
-/// a clean EOF between frames.
-pub fn read_frame_bytes<R: Read>(
-    reader: &mut R,
-    limit: FrameLimit,
-) -> Result<bytes::Bytes, FrameError> {
+/// Reads the 4-byte length prefix. A clean EOF before the first byte is
+/// [`FrameError::Closed`] (normal shutdown between frames); EOF after
+/// one or more prefix bytes is [`FrameError::Truncated`].
+fn read_prefix<R: Read>(reader: &mut R) -> Result<[u8; 4], FrameError> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0usize;
     while filled < 4 {
         match reader.read(&mut len_bytes[filled..])? {
             0 if filled == 0 => return Err(FrameError::Closed),
             0 => {
-                return Err(FrameError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "eof inside frame header",
-                )))
+                return Err(FrameError::Truncated {
+                    needed: 4 - filled,
+                    got: filled,
+                })
             }
             n => filled += n,
         }
     }
+    Ok(len_bytes)
+}
+
+/// Reads exactly `buf.len()` body bytes; EOF mid-body is
+/// [`FrameError::Truncated`] counting the `got_before` frame bytes
+/// already consumed (the prefix, for both readers below).
+fn read_body<R: Read>(reader: &mut R, buf: &mut [u8], got_before: usize) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..])? {
+            0 => {
+                return Err(FrameError::Truncated {
+                    needed: buf.len() - filled,
+                    got: got_before + filled,
+                })
+            }
+            n => filled += n,
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame and returns it raw — length prefix *and* body — as a
+/// shared buffer, without decoding. Sans-I/O drivers use this to hand
+/// the exact wire bytes to a session machine (which decodes with
+/// [`Message::decode_from`] as a view of the same buffer) while
+/// accounting the true framed length. Returns [`FrameError::Closed`] on
+/// a clean EOF between frames, [`FrameError::Truncated`] when the
+/// stream dies inside a frame, and [`FrameError::TimedOut`] when a
+/// configured read timeout fires (the stream may then hold a partial
+/// frame and must be torn down, not retried).
+pub fn read_frame_bytes<R: Read>(
+    reader: &mut R,
+    limit: FrameLimit,
+) -> Result<bytes::Bytes, FrameError> {
+    let len_bytes = read_prefix(reader)?;
     let len = u32::from_le_bytes(len_bytes);
     if len > limit.max_bytes {
         return Err(FrameError::TooLarge {
@@ -131,28 +185,15 @@ pub fn read_frame_bytes<R: Read>(
     }
     let mut frame = vec![0u8; 4 + len as usize];
     frame[..4].copy_from_slice(&len_bytes);
-    reader.read_exact(&mut frame[4..])?;
+    read_body(reader, &mut frame[4..], 4)?;
     Ok(bytes::Bytes::from(frame))
 }
 
 /// Reads one frame and decodes it. Returns [`FrameError::Closed`] if the
-/// stream ends exactly on a frame boundary (normal shutdown).
+/// stream ends exactly on a frame boundary (normal shutdown); see
+/// [`read_frame_bytes`] for the mid-frame error taxonomy.
 pub fn read_frame<R: Read>(reader: &mut R, limit: FrameLimit) -> Result<Message, FrameError> {
-    let mut len_bytes = [0u8; 4];
-    // Distinguish clean EOF (zero bytes) from mid-header truncation.
-    let mut filled = 0usize;
-    while filled < 4 {
-        match reader.read(&mut len_bytes[filled..])? {
-            0 if filled == 0 => return Err(FrameError::Closed),
-            0 => {
-                return Err(FrameError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "eof inside frame header",
-                )))
-            }
-            n => filled += n,
-        }
-    }
+    let len_bytes = read_prefix(reader)?;
     let len = u32::from_le_bytes(len_bytes);
     if len > limit.max_bytes {
         return Err(FrameError::TooLarge {
@@ -161,7 +202,7 @@ pub fn read_frame<R: Read>(reader: &mut R, limit: FrameLimit) -> Result<Message,
         });
     }
     let mut body = vec![0u8; len as usize];
-    reader.read_exact(&mut body)?;
+    read_body(reader, &mut body, 4)?;
     // Hand the body over as a shared buffer so data-plane payloads
     // decode as views of it — the read is the frame's only copy.
     Message::decode_from(&bytes::Bytes::from(body)).map_err(FrameError::Wire)
@@ -218,23 +259,41 @@ mod tests {
     }
 
     #[test]
-    fn truncated_header_is_io_error() {
+    fn truncated_header_is_typed() {
         let mut cursor = Cursor::new(vec![1u8, 0]);
-        assert!(matches!(
-            read_frame(&mut cursor, FrameLimit::default()),
-            Err(FrameError::Io(_))
-        ));
+        match read_frame(&mut cursor, FrameLimit::default()) {
+            Err(FrameError::Truncated { needed, got }) => {
+                assert_eq!(needed, 2);
+                assert_eq!(got, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 
     #[test]
-    fn truncated_body_is_io_error() {
+    fn truncated_body_is_typed() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&100u32.to_le_bytes());
         buf.extend_from_slice(&[0u8; 10]); // 90 bytes short
         let mut cursor = Cursor::new(buf);
+        match read_frame(&mut cursor, FrameLimit::default()) {
+            Err(FrameError::Truncated { needed, got }) => {
+                assert_eq!(needed, 90);
+                assert_eq!(got, 4 + 10);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_reader_reports_truncation_too() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 3]);
+        let mut cursor = Cursor::new(buf);
         assert!(matches!(
-            read_frame(&mut cursor, FrameLimit::default()),
-            Err(FrameError::Io(_))
+            read_frame_bytes(&mut cursor, FrameLimit::default()),
+            Err(FrameError::Truncated { needed: 5, got: 7 })
         ));
     }
 

@@ -1,16 +1,18 @@
-//! Two peers reconciling over a real TCP connection on localhost: the
-//! same sans-I/O session machines the sim engine pumps, here driven by
-//! the blocking stream drivers from `icd-core`. Demonstrates that the
-//! protocol layer is transport-agnostic and that the byte counters are
-//! wire-exact — every number printed is a framed length (4-byte prefix
-//! included), not a payload approximation.
+//! Two peers reconciling over a real TCP connection on localhost —
+//! now a thin invocation of `icd-node`'s connection drivers, the very
+//! code path the peer daemon runs: a [`Hello`] preamble carrying the
+//! link seed, then one §3 session pumped by the blocking drivers, with
+//! every decoded symbol landing in a [`SharedWorkingSet`]. Every number
+//! printed is a framed wire length (4-byte prefix included), and the
+//! hello is excluded from the counters on both ends, so receiver and
+//! sender totals must agree exactly.
 //!
 //! Run with: `cargo run --release --example tcp_reconcile`
 
-use icd_core::machine::{drive_receiver, drive_sender, ReceiverMachine, SenderMachine};
 use icd_core::{SessionConfig, WorkingSet};
 use icd_fountain::{EncodedSymbol, Encoder};
-use icd_wire::framing::FrameLimit;
+use icd_node::{fetch_session, serve_session, Hello, SessionEpoch, SharedWorkingSet};
+use icd_overlay::session_machine_seeds;
 use std::net::{TcpListener, TcpStream};
 
 fn main() {
@@ -22,46 +24,62 @@ fn main() {
     let receiver_symbols: Vec<EncodedSymbol> = universe[..cut].to_vec();
     let sender_symbols: Vec<EncodedSymbol> = universe[universe.len() - cut..].to_vec();
 
+    // One link seed in the hello; both machine seeds derive from it,
+    // exactly as the daemon and the simulator do.
+    let link_seed = 0x1CD0_0017;
+
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
 
-    // Sender side on its own thread, like a remote peer: the identical
-    // machine the sim engine runs, behind a blocking driver.
+    // Serving peer on its own thread, like a remote daemon: read the
+    // hello, derive the sender seed, serve one session.
     let sender_thread = std::thread::spawn(move || {
         let (mut stream, _) = listener.accept().expect("accept");
+        let hello = Hello::read_from(&mut stream).expect("hello");
+        let (_, sender_seed) = session_machine_seeds(hello.seed);
         let working = WorkingSet::from_symbols(sender_symbols);
-        let mut machine = SenderMachine::new(working, 17);
-        let stats = drive_sender(&mut machine, &mut stream, FrameLimit::default())
-            .expect("sender drive");
-        (stats, machine.streamed())
+        serve_session(&mut stream, working, sender_seed).expect("serve session")
     });
 
-    // Receiver side: connect, run the machine, read the wire counters.
+    // Fetching peer: hello first, then the session; decoded symbols
+    // land in the shared set the way a daemon's many sessions share one.
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let working = WorkingSet::from_symbols(receiver_symbols);
-    let before = working.len();
-    let config = SessionConfig::new().with_request((l / 2) as u64);
-    let mut machine = ReceiverMachine::new(working, config);
-    let stats =
-        drive_receiver(&mut machine, &mut stream, FrameLimit::default()).expect("receiver drive");
+    Hello {
+        dialer: 1,
+        seed: link_seed,
+        epoch: SessionEpoch::Live,
+    }
+    .write_to(&mut stream)
+    .expect("hello");
+    let snapshot = WorkingSet::from_symbols(receiver_symbols);
+    let before = snapshot.len();
+    let shared = SharedWorkingSet::new(snapshot.clone(), universe.len());
+    let (receiver_seed, _) = session_machine_seeds(link_seed);
+    let config = SessionConfig::new()
+        .with_request((l / 2) as u64)
+        .with_seed(receiver_seed);
+    let outcome = fetch_session(&mut stream, snapshot, config, &shared).expect("fetch session");
     drop(stream);
-    let (sender_stats, streamed) = sender_thread.join().expect("sender thread");
+    let sender_stats = sender_thread.join().expect("sender thread");
 
-    let gained = machine.gained();
-    let plan = machine.plan().expect("plan");
-    let after = machine.working().len();
+    let stats = outcome.stats;
+    let after = shared.distinct();
     println!("TCP reconciliation on {addr}:");
-    println!("  plan            : {plan:?}");
     println!("  symbols before  : {before}");
-    println!("  symbols after   : {after} (+{gained})");
+    println!("  symbols after   : {after} (+{})", outcome.gained);
     println!(
         "  control traffic : {} bytes in {} frames (sketches, summary, request, end)",
         stats.control_bytes, stats.frames
     );
     println!("  data traffic    : {} bytes", stats.data_bytes);
     println!("  total wire      : {} bytes", stats.total());
-    assert!(gained > 0, "transfer should have moved symbols");
-    assert_eq!(streamed, gained, "sender streamed what the receiver gained");
+    assert!(!outcome.rejected, "sketches clearly differ; no rejection");
+    assert!(outcome.gained > 0, "transfer should have moved symbols");
+    assert_eq!(
+        after,
+        before + outcome.gained as usize,
+        "shared set gained exactly the fresh symbols"
+    );
     // Both ends counted the same frames; their totals must agree exactly.
     assert_eq!(
         stats.total(),

@@ -1,6 +1,10 @@
 //! Property-based tests on the wire format: total decoding (no panics on
-//! arbitrary bytes) and lossless round-trips for arbitrary messages.
+//! arbitrary bytes), lossless round-trips for arbitrary messages, and a
+//! malformed-frame corpus for the framing layer — oversized length
+//! prefixes, mid-frame truncation, unknown tags — all of which must
+//! surface as typed errors, never panics or unbounded allocation.
 
+use icd_wire::framing::{read_frame, write_frame, FrameError, FrameLimit};
 use icd_wire::{Message, WireError};
 use proptest::prelude::*;
 
@@ -57,6 +61,142 @@ proptest! {
             Message::decode(&bytes),
             Err(WireError::Invalid(_)) | Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn framing_is_faithful_to_message_decode(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // A well-prefixed frame around an arbitrary body must land in
+        // exactly the same place as decoding the body directly: same
+        // message on success, a typed `Wire` error on failure — the
+        // framing layer adds no acceptance and no panics of its own.
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(framed);
+        match (read_frame(&mut cursor, FrameLimit::default()), Message::decode(&body)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(FrameError::Wire(_)), Err(_)) => {}
+            (framed, direct) => panic!("framing diverged: {framed:?} vs {direct:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_stream_cut_anywhere_is_typed(
+        counts in proptest::collection::vec(any::<u64>(), 1..4),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        // Frame a few messages, cut the stream at an arbitrary byte,
+        // and read until it ends: every outcome must be a typed frame
+        // error — clean `Closed` exactly on a frame boundary, `Truncated`
+        // with consistent counters mid-frame — and never a panic.
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for &count in &counts {
+            write_frame(&mut buf, &Message::SymbolRequest { count }).expect("write");
+            boundaries.push(buf.len());
+        }
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        let mut cursor = std::io::Cursor::new(&buf[..cut]);
+        let mut decoded = 0usize;
+        let end = loop {
+            match read_frame(&mut cursor, FrameLimit::default()) {
+                Ok(msg) => {
+                    prop_assert_eq!(msg, Message::SymbolRequest { count: counts[decoded] });
+                    decoded += 1;
+                }
+                Err(e) => break e,
+            }
+        };
+        match end {
+            FrameError::Closed => prop_assert_eq!(cut, boundaries[decoded]),
+            FrameError::Truncated { needed, got } => {
+                prop_assert!(needed > 0, "truncation must still be missing bytes");
+                // The error's counters reconstruct the cut position.
+                prop_assert_eq!(boundaries[decoded] + got, cut);
+            }
+            other => panic!("expected Closed/Truncated, got {other:?}"),
+        }
+        prop_assert!(decoded <= counts.len());
+    }
+}
+
+/// Hand-written malformed frames, each of which must be rejected with
+/// the *specific* typed error a driver can act on — the corpus the
+/// nightly fuzz lane grew out of.
+#[test]
+fn malformed_frame_corpus_is_rejected_with_typed_errors() {
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(body);
+        buf
+    }
+    let valid = {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::SymbolRequest { count: 9 }).expect("write");
+        buf
+    };
+
+    // (name, stream bytes, check on the resulting error)
+    type ErrorCheck = Box<dyn Fn(&FrameError) -> bool>;
+    let corpus: Vec<(&str, Vec<u8>, ErrorCheck)> = vec![
+        (
+            "empty stream is a clean close",
+            Vec::new(),
+            Box::new(|e| matches!(e, FrameError::Closed)),
+        ),
+        (
+            "truncated length prefix",
+            vec![0x01, 0x00],
+            Box::new(|e| matches!(e, FrameError::Truncated { needed: 2, got: 2 })),
+        ),
+        (
+            "oversized length prefix is rejected before allocating",
+            {
+                let mut buf = u32::MAX.to_le_bytes().to_vec();
+                buf.extend_from_slice(&[0u8; 8]);
+                buf
+            },
+            Box::new(|e| {
+                matches!(
+                    e,
+                    FrameError::TooLarge {
+                        claimed: u32::MAX,
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            "body cut mid-frame",
+            valid[..valid.len() - 3].to_vec(),
+            Box::new(|e| matches!(e, FrameError::Truncated { needed: 3, .. })),
+        ),
+        (
+            "unknown message tag",
+            framed(&[0xEE]),
+            Box::new(|e| matches!(e, FrameError::Wire(_))),
+        ),
+        (
+            "unknown summary id inside a summary frame",
+            framed(&[0x07, 0xEE, 0xEE, 0xEE]),
+            Box::new(|e| matches!(e, FrameError::Wire(_))),
+        ),
+        (
+            "declared length longer than the message",
+            {
+                let mut body = Message::SymbolRequest { count: 9 }.encode();
+                body.extend_from_slice(&[0u8; 3]);
+                framed(&body)
+            },
+            Box::new(|e| matches!(e, FrameError::Wire(_))),
+        ),
+    ];
+
+    for (name, bytes, check) in corpus {
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor, FrameLimit::default()) {
+            Ok(msg) => panic!("{name}: accepted as {msg:?}"),
+            Err(e) => assert!(check(&e), "{name}: wrong error {e:?}"),
+        }
     }
 }
 

@@ -28,6 +28,9 @@
 //!   link lists + next-send heap) exists for: thousands of links, most
 //!   idle or torn down at any instant, which the replaced per-tick
 //!   linear link scan paid for on every tick.
+//! * **faulty swarm** — the same geometry with the fault plane on (one
+//!   scheduled link cut per twenty peers), so regressions in fault
+//!   execution are visible separately from the fault-free number.
 //!
 //! `--quick` (or `ICD_QUICK=1`) shrinks the geometry for CI smoke runs;
 //! `--out PATH` overrides the output path (default
@@ -74,6 +77,7 @@ fn main() {
     probes.push(sim_probe(quick));
     probes.push(net_events_probe(quick));
     probes.push(swarm_events_probe(quick));
+    probes.push(faulty_swarm_events_probe(quick));
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -306,6 +310,47 @@ fn net_events_probe(quick: bool) -> Probe {
         value: events as f64 / secs,
         unit: "events/s",
         detail: format!("mesh n={blocks}, k=4 + ring, heterogeneous links"),
+    }
+}
+
+fn faulty_swarm_events_probe(quick: bool) -> Probe {
+    // The swarm probe's geometry with the fault plane switched on: one
+    // scheduled link cut per twenty peers inside the churn window. The
+    // fault execution path — victim selection, in-flight frame wastage,
+    // immediate redials — rides the same engine hot loop, so a
+    // regression in it shows up here without disturbing the fault-free
+    // `swarm_events_per_s` number it is diffed against.
+    let peers = if quick { 250 } else { 1000 };
+    let blocks = if quick { 48 } else { 64 };
+    let window = (5u64, 160);
+    let profiles: Vec<icd_swarm::Link> =
+        [1u64, 2, 4, 8, 16].iter().map(|&i| icd_swarm::Link::slower(i)).collect();
+    let mut cfg = icd_swarm::SwarmConfig::new(
+        peers,
+        blocks,
+        icd_swarm::TopologyKind::PowerLaw { m: 2 },
+    )
+    .with_link_profiles(profiles)
+    .with_faults(icd_swarm::FaultConfig::link_cuts(peers / 20, window));
+    cfg.refresh_interval = 40;
+    let mut events = 0u64;
+    let mut roster = 0usize;
+    let mut applied = 0u32;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        let out = icd_swarm::run_swarm(cfg.clone(), SEED ^ 14);
+        assert!(out.all_complete(), "faulty swarm probe failed to complete");
+        events = out.events;
+        roster = out.peers;
+        applied = out.faults_applied;
+    });
+    Probe {
+        name: "faulty_swarm_events_per_s",
+        value: events as f64 / secs,
+        unit: "events/s",
+        detail: format!(
+            "{roster}-peer power-law(m=2) swarm, n={blocks}, {applied} link cuts \
+             applied, all complete"
+        ),
     }
 }
 

@@ -313,6 +313,19 @@ impl ReceiverMachine {
     pub fn into_working(self) -> WorkingSet {
         self.working
     }
+
+    /// Consumes a (possibly mid-flight) machine and builds a fresh one
+    /// over its *current* working set — the §3 re-handshake a resuming
+    /// dialer performs after a cut connection. The new session's opening
+    /// sketch summarizes everything decoded so far, so symbols that
+    /// landed before the cut are advertised as held and never
+    /// re-requested; the caller supplies a `config` whose request count
+    /// reflects what is still missing. All clock state (idle timeout,
+    /// terminal flags) is reset: resumption is a new connection.
+    #[must_use]
+    pub fn into_resumed(self, config: SessionConfig) -> Self {
+        Self::new(self.working, config)
+    }
 }
 
 /// Sender-side sans-I/O machine over a [`SenderSession`].
@@ -543,7 +556,11 @@ pub struct WireStats {
 }
 
 impl WireStats {
-    fn count(&mut self, frame: &Bytes) {
+    /// Books one frame (either direction): the whole framed length,
+    /// classified data vs control by its message tag. Public so custom
+    /// drive loops (e.g. a daemon's budgeted serve path) book frames
+    /// exactly like the built-in drivers.
+    pub fn count(&mut self, frame: &Bytes) {
         self.frames += 1;
         let data = frame
             .get(FRAME_PREFIX_BYTES)
@@ -559,6 +576,18 @@ impl WireStats {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.control_bytes + self.data_bytes
+    }
+}
+
+/// Counters accumulate across attempts: a retrying dialer sums the
+/// partial stats of every severed attempt into the final report, so
+/// wasted wire bytes stay visible instead of vanishing with the failed
+/// connection.
+impl std::ops::AddAssign for WireStats {
+    fn add_assign(&mut self, other: Self) {
+        self.control_bytes += other.control_bytes;
+        self.data_bytes += other.data_bytes;
+        self.frames += other.frames;
     }
 }
 
@@ -629,7 +658,11 @@ fn execute<S: std::io::Write>(
     for action in actions {
         if let SessionAction::SendFrame(frame) = action {
             stats.count(frame);
-            stream.write_all(frame).map_err(FrameError::Io)?;
+            // Through `FrameError::from`, so a write deadline
+            // (WouldBlock/TimedOut) classifies as the transient
+            // `FrameError::TimedOut` a retry policy may redial on,
+            // not an opaque I/O failure.
+            stream.write_all(frame).map_err(FrameError::from)?;
         }
     }
     Ok(())
@@ -1093,5 +1126,103 @@ mod tests {
             Err(DriveError::ReadTimeout { stats }) => assert_eq!(stats.frames, 1),
             other => panic!("expected ReadTimeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn write_deadline_surfaces_as_transient_transport_error() {
+        // A socket whose *write* deadline fires: the opening sketch
+        // cannot be sent. The driver must classify it as the transient
+        // `FrameError::TimedOut`, not an opaque I/O failure, so retry
+        // policies treat stalled writes like stalled reads.
+        struct FullBuffer;
+        impl std::io::Read for FullBuffer {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+        }
+        impl std::io::Write for FullBuffer {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (mut receiver, _, _) = machines(10);
+        match drive_receiver(&mut receiver, &mut FullBuffer, FrameLimit::default()) {
+            Err(DriveError::Transport(e)) => {
+                assert!(matches!(e, FrameError::TimedOut));
+                assert!(e.is_transient());
+            }
+            other => panic!("expected Transport(TimedOut), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumed_machine_advertises_prior_progress_and_never_double_counts() {
+        // Run a session partway, cut it, resume with a fresh handshake
+        // over the now-larger set: nothing decoded before the cut may be
+        // gained again afterward.
+        let (mut receiver, mut sender, fresh) = machines(1000);
+        let mut pump = FramePump::new();
+        let mut actions = Vec::new();
+        pump.start(&mut receiver, &mut sender, &mut actions).expect("start");
+        // Pump only a handful of frames — the "connection" then dies.
+        for _ in 0..12 {
+            if pump.step(&mut receiver, &mut sender, &mut actions).expect("step") == PumpStep::Idle
+            {
+                break;
+            }
+        }
+        let first: std::collections::HashSet<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SessionAction::SymbolDecoded(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let gained_before = receiver.gained();
+        assert_eq!(first.len() as u64, gained_before);
+        let held_at_cut = receiver.working().len();
+
+        // Resume: re-handshake with a request for what is still missing,
+        // against a fresh sender over the same inventory (the serving
+        // daemon rebuilds its machine per connection too).
+        let missing = 1000 - gained_before;
+        let mut resumed =
+            receiver.into_resumed(SessionConfig::new().with_request(missing).with_seed(99));
+        assert_eq!(resumed.working().len(), held_at_cut);
+        let sender_ids: Vec<u64> = {
+            let mut v = ids(600, 1);
+            v.extend(ids(250, 2));
+            v
+        };
+        let mut sender2 = SenderMachine::new(working(&sender_ids), 8);
+        let mut pump2 = FramePump::new();
+        let actions2 = pump2.run(&mut resumed, &mut sender2).expect("resumed run");
+        assert!(resumed.is_done() || resumed.was_rejected());
+        let second: Vec<u64> = actions2
+            .iter()
+            .filter_map(|a| match a {
+                SessionAction::SymbolDecoded(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        // The resumed handshake summarized the pre-cut gains, so none of
+        // them is ever re-decoded.
+        for id in &second {
+            assert!(!first.contains(id), "symbol {id} double-counted across resume");
+        }
+        // Combined, the two half-sessions still deliver the transfer.
+        assert!(
+            gained_before + second.len() as u64 > (fresh * 9 / 10) as u64,
+            "resume lost progress: {gained_before} + {}",
+            second.len()
+        );
+        assert_eq!(
+            resumed.working().len(),
+            held_at_cut + second.len(),
+            "working set growth must equal fresh decodes"
+        );
     }
 }

@@ -16,10 +16,13 @@
 
 use std::io::{Read, Write};
 
-use icd_core::machine::{drive_receiver_with, drive_sender, DriveError, WireStats};
-use icd_core::{ReceiverMachine, SenderMachine, SessionAction, SessionConfig, WorkingSet};
+use icd_core::machine::{drive_receiver_with, DriveError, WireStats};
+use icd_core::{
+    ReceiverMachine, SenderMachine, SessionAction, SessionConfig, SessionEvent, WorkingSet,
+};
 use icd_fountain::EncodedSymbol;
-use icd_wire::FrameLimit;
+use icd_wire::message::FRAME_PREFIX_BYTES;
+use icd_wire::{read_frame_bytes, FrameError, FrameLimit, Message};
 
 use crate::shared::SharedWorkingSet;
 
@@ -165,6 +168,30 @@ pub struct FetchOutcome {
     pub rejected: bool,
 }
 
+/// A failed fetch session, with the progress it made before dying.
+///
+/// A session cut mid-stream has usually already decoded symbols into
+/// the shared set; dropping that count would make a recovering node's
+/// accumulated gains disagree with its distinct-symbol growth. The
+/// error therefore carries the partial gains alongside the transport
+/// failure, and retry loops fold both into their running totals.
+#[derive(Debug)]
+pub struct FetchError {
+    /// The transport or machine failure that ended the session.
+    pub error: DriveError,
+    /// Symbols the dead session decoded that were new to the node
+    /// (shared-set deduped, same semantics as [`FetchOutcome::gained`]).
+    pub gained: u64,
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after gaining {}", self.error, self.gained)
+    }
+}
+
+impl std::error::Error for FetchError {}
+
 /// Drives the dialing (receiver) side of one session: the machine is
 /// constructed from `snapshot` and `config`, and every decoded symbol
 /// is pushed into `shared` as it lands, so the node's other sessions
@@ -175,16 +202,17 @@ pub struct FetchOutcome {
 /// [`DriveError::ReadTimeout`] instead of wedging the thread).
 ///
 /// # Errors
-/// Any [`DriveError`] from the underlying driver.
+/// Any [`DriveError`] from the underlying driver, wrapped with the
+/// partial gains the session banked before it died.
 pub fn fetch_session<S: Read + Write>(
     stream: &mut S,
     snapshot: WorkingSet,
     config: SessionConfig,
     shared: &SharedWorkingSet,
-) -> Result<FetchOutcome, DriveError> {
+) -> Result<FetchOutcome, FetchError> {
     let mut machine = ReceiverMachine::new(snapshot, config);
     let mut gained = 0u64;
-    let stats = drive_receiver_with(
+    let driven = drive_receiver_with(
         &mut machine,
         stream,
         FrameLimit::default(),
@@ -200,27 +228,193 @@ pub fn fetch_session<S: Read + Write>(
                 }
             }
         },
-    )?;
-    Ok(FetchOutcome {
-        stats,
-        gained,
-        rejected: machine.was_rejected(),
-    })
+    );
+    match driven {
+        Ok(stats) => Ok(FetchOutcome {
+            stats,
+            gained,
+            rejected: machine.was_rejected(),
+        }),
+        Err(error) => Err(FetchError { error, gained }),
+    }
+}
+
+/// How the serving side of one session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// The session ran to its protocol end (END exchange or rejection).
+    Complete,
+    /// The dialer hung up mid-session. Routine under churn: the dialer
+    /// crashed, was restarted, or decided it was done.
+    PeerClosed,
+    /// The read deadline fired mid-session — the dialer stalled.
+    TimedOut,
+    /// The stream died inside a frame ([`FrameError::Truncated`]). The
+    /// session is abandoned but the daemon keeps serving others.
+    Truncated,
+    /// Fault injection severed the stream after its frame budget
+    /// (never occurs outside a [`crate::daemon::ServeChaos`] plan).
+    Severed,
+}
+
+impl ServeStatus {
+    /// `true` for every status other than [`ServeStatus::Complete`] —
+    /// the session ended early and the dialer saw a partial transfer.
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        !matches!(self, Self::Complete)
+    }
+}
+
+/// What one serve session accomplished, degraded or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Wire-exact counters for every frame either direction (hello
+    /// excluded), including frames of sessions that ended early.
+    pub stats: WireStats,
+    /// How the session ended.
+    pub status: ServeStatus,
 }
 
 /// Drives the serving (sender) side of one session over `snapshot`,
 /// with the machine RNG seeded `sender_seed` (derive it from the
 /// hello's link seed via [`icd_overlay::session_machine_seeds`]).
 ///
+/// Connection-level failures — the dialer hung up, a deadline fired,
+/// the stream truncated mid-frame — are *absorbed* into a degraded
+/// [`ServeStatus`] rather than surfaced as errors: a serving daemon
+/// logs them and moves on to the next connection. Only protocol or
+/// machine errors (a misbehaving dialer) reach the `Err` arm.
+///
 /// # Errors
-/// Any [`DriveError`] from the underlying driver.
+/// [`DriveError::Machine`] or a non-transient transport failure.
 pub fn serve_session<S: Read + Write>(
     stream: &mut S,
     snapshot: WorkingSet,
     sender_seed: u64,
-) -> Result<WireStats, DriveError> {
+) -> Result<ServeOutcome, DriveError> {
+    serve_session_budgeted(stream, snapshot, sender_seed, None)
+}
+
+/// [`serve_session`] with an optional chaos budget: after writing
+/// `sever_after` *data* frames the serve writes a deliberately
+/// truncated frame prefix and abandons the stream, reporting
+/// [`ServeStatus::Severed`]. The dialer observes a mid-frame cut —
+/// exactly the failure a yanked cable produces — and (with a
+/// [`crate::retry::RetryPolicy`]) redials on a Live-epoch session.
+///
+/// This is the daemon-side hook the deterministic chaos tests use; the
+/// loop books frames with [`WireStats::count`] exactly like the
+/// built-in drivers, so fault-free runs (`sever_after = None`) stay
+/// byte-identical to `drive_sender`.
+///
+/// # Errors
+/// [`DriveError::Machine`] or a non-transient transport failure.
+pub fn serve_session_budgeted<S: Read + Write>(
+    stream: &mut S,
+    snapshot: WorkingSet,
+    sender_seed: u64,
+    sever_after: Option<u64>,
+) -> Result<ServeOutcome, DriveError> {
+    let limit = FrameLimit::default();
+    let budget = sever_after.unwrap_or(u64::MAX);
     let mut machine = SenderMachine::new(snapshot, sender_seed);
-    drive_sender(&mut machine, stream, FrameLimit::default())
+    let mut stats = WireStats::default();
+    let mut data_written = 0u64;
+
+    let actions = machine
+        .handle(SessionEvent::PeerConnected)
+        .map_err(DriveError::Machine)?;
+    if let Some(outcome) = write_actions(
+        stream,
+        &actions,
+        &mut stats,
+        &mut data_written,
+        budget,
+    )? {
+        return Ok(outcome);
+    }
+
+    loop {
+        if machine.is_finished() {
+            return Ok(ServeOutcome {
+                stats,
+                status: ServeStatus::Complete,
+            });
+        }
+        let frame = match read_frame_bytes(stream, limit) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => {
+                return Ok(ServeOutcome {
+                    stats,
+                    status: ServeStatus::PeerClosed,
+                })
+            }
+            Err(FrameError::TimedOut) => {
+                return Ok(ServeOutcome {
+                    stats,
+                    status: ServeStatus::TimedOut,
+                })
+            }
+            Err(FrameError::Truncated { .. }) => {
+                return Ok(ServeOutcome {
+                    stats,
+                    status: ServeStatus::Truncated,
+                })
+            }
+            Err(e) => return Err(DriveError::Transport(e)),
+        };
+        stats.count(&frame);
+        let actions = machine
+            .handle(SessionEvent::FrameReceived(frame))
+            .map_err(DriveError::Machine)?;
+        if let Some(outcome) = write_actions(
+            stream,
+            &actions,
+            &mut stats,
+            &mut data_written,
+            budget,
+        )? {
+            return Ok(outcome);
+        }
+    }
+}
+
+/// Writes every `SendFrame` action, booking stats; returns the severed
+/// outcome once `budget` data frames have gone out.
+fn write_actions<S: Write>(
+    stream: &mut S,
+    actions: &[SessionAction],
+    stats: &mut WireStats,
+    data_written: &mut u64,
+    budget: u64,
+) -> Result<Option<ServeOutcome>, DriveError> {
+    for action in actions {
+        let SessionAction::SendFrame(frame) = action else {
+            continue;
+        };
+        stats.count(frame);
+        stream
+            .write_all(frame)
+            .map_err(|e| DriveError::Transport(FrameError::from(e)))?;
+        if frame
+            .get(FRAME_PREFIX_BYTES)
+            .is_some_and(|&t| Message::is_data_tag(t))
+        {
+            *data_written += 1;
+            if *data_written >= budget {
+                // Leave a dangling half-prefix so the dialer sees a
+                // mid-frame cut (FrameError::Truncated), not a tidy EOF.
+                let _ = stream.write_all(&[0x1C, 0xD0]);
+                let _ = stream.flush();
+                return Ok(Some(ServeOutcome {
+                    stats: *stats,
+                    status: ServeStatus::Severed,
+                }));
+            }
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

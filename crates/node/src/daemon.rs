@@ -13,22 +13,44 @@
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use icd_core::machine::{DriveError, WireStats};
-use icd_core::{SessionConfig, WorkingSet};
+use icd_core::{PolicyKnobs, SessionConfig, WorkingSet};
 use icd_overlay::{session_machine_seeds, session_payload};
 use icd_swarm::{PeerId, SwarmEvent};
 
-use crate::connection::{fetch_session, serve_session, FetchOutcome, Hello, SessionEpoch};
+use crate::connection::{
+    fetch_session, serve_session_budgeted, FetchError, FetchOutcome, Hello, SessionEpoch,
+};
 use crate::plan::{round_seed, DistributionSpec, SwarmPlan};
+use crate::retry::RetryPolicy;
 use crate::shared::SharedWorkingSet;
+
+/// Salt folded into per-retry session seeds so a redial never replays
+/// the round's original symbol stream.
+const RETRY_SEED_SALT: u64 = 0x1CD0_7E72;
+
+/// Daemon-side fault injection: sever the first serve session from
+/// each listed dialer after a fixed number of data frames. The cut is
+/// deliberate and deterministic — the dialer observes a mid-frame
+/// truncation exactly where the plan says — which is what lets chaos
+/// tests assert byte-for-byte bounds on the recovery path.
+#[derive(Debug, Clone, Default)]
+pub struct ServeChaos {
+    /// Dialer ids whose *first* session gets severed (subsequent
+    /// sessions from the same dialer serve normally — that is the
+    /// retry succeeding).
+    pub sever_dialers: Vec<u32>,
+    /// Data frames to serve before cutting the stream.
+    pub frame_budget: u64,
+}
 
 /// How a node is launched.
 #[derive(Debug, Clone)]
-pub struct NodeConfig {
+pub struct DaemonConfig {
     /// This peer's id in the plan (`0..spec.nodes`).
     pub id: PeerId,
     /// The swarm-wide distribution spec.
@@ -39,11 +61,25 @@ pub struct NodeConfig {
     /// peer then surfaces as [`DriveError::ReadTimeout`] instead of
     /// wedging its connection thread forever.
     pub read_timeout: Option<Duration>,
+    /// Socket write timeout. A stalled peer whose window never opens
+    /// surfaces as a transient transport error instead of blocking the
+    /// writer indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Redial discipline for transient fetch failures: peer closed,
+    /// deadline fired, stream truncated mid-frame. Retries resume on a
+    /// [`SessionEpoch::Live`] session advertising everything decoded so
+    /// far, so no byte of prior progress is re-fetched.
+    pub retry: RetryPolicy,
+    /// Optional serve-side fault injection (chaos tests only).
+    pub chaos: Option<ServeChaos>,
 }
 
-impl NodeConfig {
-    /// Localhost config with an OS-assigned port and a generous
-    /// 30-second read timeout.
+/// Former name of [`DaemonConfig`], kept for existing callers.
+pub type NodeConfig = DaemonConfig;
+
+impl DaemonConfig {
+    /// Localhost config with an OS-assigned port, generous 30-second
+    /// read/write deadlines, and the default retry policy.
     #[must_use]
     pub fn local(id: PeerId, spec: DistributionSpec) -> Self {
         Self {
@@ -51,6 +87,9 @@ impl NodeConfig {
             spec,
             listen: "127.0.0.1:0".to_string(),
             read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -139,11 +178,16 @@ pub struct FetchReport {
     pub round: u32,
     /// Session seed the round ran under ([`round_seed`] of the link).
     pub seed: u64,
-    /// The session outcome, or the error that ended it.
+    /// The session outcome, or the error that ended it. After retries,
+    /// `Ok` carries the *accumulated* stats and gains of every attempt.
     pub outcome: Result<FetchOutcome, &'static str>,
-    /// Wire bytes moved (both directions, hello excluded); also
-    /// populated for failed sessions from the error's partial counters.
+    /// Wire bytes moved (both directions, hello excluded) summed over
+    /// every attempt; also populated for failed sessions from the
+    /// errors' partial counters.
     pub stats: WireStats,
+    /// Redials performed after transient failures (0 on the fault-free
+    /// path — the goldens rely on that).
+    pub retries: u32,
 }
 
 /// Barrier-frozen per-round session state.
@@ -168,16 +212,37 @@ struct Rounds {
     fetch: Vec<Option<(Vec<u64>, u64)>>,
 }
 
+/// Everything a serve thread needs, shared across all of them.
+struct ServeCtx {
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    rounds: Arc<Mutex<Rounds>>,
+    shared: Arc<SharedWorkingSet>,
+    log: Mutex<Vec<(u32, WireStats)>>,
+    /// Dialers whose next session gets severed (drained as they dial).
+    chaos_pending: Mutex<Vec<u32>>,
+    /// Data-frame budget for severed sessions.
+    frame_budget: u64,
+    /// Sessions that ended early (peer closed / timed out / truncated
+    /// mid-frame / chaos-severed) but were absorbed, not fatal.
+    degraded: AtomicU64,
+}
+
 /// A running peer: listener thread + shared working set.
 pub struct Node {
-    config: NodeConfig,
+    config: DaemonConfig,
     plan: SwarmPlan,
     shared: Arc<SharedWorkingSet>,
     rounds: Arc<Mutex<Rounds>>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    serve_log: Arc<Mutex<Vec<(u32, WireStats)>>>,
+    serve_ctx: Arc<ServeCtx>,
+    /// Set when the previous [`Self::run_fetches`] gained nothing while
+    /// the node was still incomplete — the next round's dials escalate
+    /// to speculative transfers (see [`Self::stall_escalations`]).
+    stalled: AtomicBool,
+    escalations: AtomicU64,
 }
 
 impl Node {
@@ -187,7 +252,7 @@ impl Node {
     ///
     /// # Errors
     /// Socket bind/configuration failures.
-    pub fn start(config: NodeConfig) -> io::Result<Self> {
+    pub fn start(config: DaemonConfig) -> io::Result<Self> {
         let plan = SwarmPlan::new(config.spec);
         let share = &plan.shares[config.id];
         let payload = config.spec.payload;
@@ -217,13 +282,25 @@ impl Node {
         let listener = TcpListener::bind(&config.listen)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let serve_log = Arc::new(Mutex::new(Vec::new()));
+        let serve_ctx = Arc::new(ServeCtx {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            rounds: rounds.clone(),
+            shared: shared.clone(),
+            log: Mutex::new(Vec::new()),
+            chaos_pending: Mutex::new(
+                config
+                    .chaos
+                    .as_ref()
+                    .map(|c| c.sever_dialers.clone())
+                    .unwrap_or_default(),
+            ),
+            frame_budget: config.chaos.as_ref().map_or(u64::MAX, |c| c.frame_budget),
+            degraded: AtomicU64::new(0),
+        });
 
         let accept_stop = stop.clone();
-        let accept_shared = shared.clone();
-        let accept_rounds = rounds.clone();
-        let accept_log = serve_log.clone();
-        let read_timeout = config.read_timeout;
+        let accept_ctx = serve_ctx.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut sessions = Vec::new();
             for stream in listener.incoming() {
@@ -231,12 +308,8 @@ impl Node {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let shared = accept_shared.clone();
-                let rounds = accept_rounds.clone();
-                let log = accept_log.clone();
-                sessions.push(std::thread::spawn(move || {
-                    let _ = serve_one(stream, read_timeout, &rounds, &shared, &log);
-                }));
+                let ctx = accept_ctx.clone();
+                sessions.push(std::thread::spawn(move || serve_one(stream, &ctx)));
             }
             for s in sessions {
                 let _ = s.join();
@@ -251,7 +324,9 @@ impl Node {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
-            serve_log,
+            serve_ctx,
+            stalled: AtomicBool::new(false),
+            escalations: AtomicU64::new(0),
         })
     }
 
@@ -276,7 +351,34 @@ impl Node {
     /// Per-dialer serve-side wire counters recorded so far.
     #[must_use]
     pub fn serve_stats(&self) -> Vec<(u32, WireStats)> {
-        self.serve_log.lock().expect("serve log lock").clone()
+        self.serve_ctx.log.lock().expect("serve log lock").clone()
+    }
+
+    /// Serve sessions that ended early (dialer hung up, deadline fired,
+    /// stream truncated mid-frame, chaos-severed) but were absorbed —
+    /// the daemon logged them and kept serving.
+    #[must_use]
+    pub fn degraded_sessions(&self) -> u64 {
+        self.serve_ctx.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Rounds this node ran as speculative escalations.
+    ///
+    /// Approximate summaries (Bloom, ART) are pure functions of the two
+    /// working sets, so their false positives do not re-draw under
+    /// fresh round seeds: a node whose last missing symbols are exactly
+    /// the digest's false positives can livelock, gaining nothing round
+    /// after round while every session "succeeds". The daemon detects
+    /// that state — a [`Self::run_fetches`] round that gained nothing
+    /// while still incomplete — and escalates the *next* round to
+    /// speculative [`SessionEpoch::Live`] dials: no summary travels, so
+    /// the sender recodes over its whole set (§6's fallback) and the
+    /// withheld symbols arrive XOR-combined with known ones. The
+    /// fault-free goldens never take this path (they gain every round),
+    /// so byte parity with the simulator is untouched.
+    #[must_use]
+    pub fn stall_escalations(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
     }
 
     /// The reconciliation round the node is currently in (0-based).
@@ -330,6 +432,10 @@ impl Node {
     /// A node that was complete at the barrier dials nobody. Peers
     /// missing from `roster` report `"peer not in roster"` without
     /// dialing.
+    ///
+    /// If the *previous* call gained nothing while the node was still
+    /// incomplete, this round escalates to speculative recovery dials —
+    /// see [`Self::stall_escalations`].
     #[must_use]
     pub fn run_fetches(&self, roster: &Roster) -> Vec<FetchReport> {
         let (round, frozen) = {
@@ -342,28 +448,53 @@ impl Node {
         let Some((snapshot_ids, request)) = frozen else {
             return Vec::new();
         };
+        let escalate = self.stalled.load(Ordering::SeqCst);
         let fetches: Vec<_> = self.plan.fetches_of(self.config.id).copied().collect();
         let handles: Vec<_> = fetches
             .into_iter()
             .map(|link| {
-                let addr = roster.addr(link.from);
-                let payload = self.config.spec.payload;
-                let id = self.config.id;
-                let ids = snapshot_ids.clone();
+                let job = FetchJob {
+                    from: link.from,
+                    round,
+                    seed: round_seed(link.seed, round),
+                    link_seed: link.seed,
+                    addr: roster.addr(link.from),
+                    payload: self.config.spec.payload,
+                    id: self.config.id,
+                    snapshot_ids: snapshot_ids.clone(),
+                    request,
+                    universe: self.config.spec.universe,
+                    read_timeout: self.config.read_timeout,
+                    write_timeout: self.config.write_timeout,
+                    policy: self.config.retry,
+                    escalate,
+                };
                 let shared = self.shared.clone();
-                let timeout = self.config.read_timeout;
-                let seed = round_seed(link.seed, round);
-                std::thread::spawn(move || {
-                    fetch_one(
-                        link.from, round, seed, addr, payload, id, &ids, request, &shared, timeout,
-                    )
-                })
+                std::thread::spawn(move || fetch_one(job, &shared))
             })
             .collect();
-        handles
+        let reports: Vec<FetchReport> = handles
             .into_iter()
             .map(|h| h.join().expect("fetch thread panicked"))
-            .collect()
+            .collect();
+        if escalate && !reports.is_empty() {
+            self.escalations.fetch_add(1, Ordering::Relaxed);
+        }
+        let gained: u64 = reports
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|o| o.gained)
+            .sum();
+        let stalled_now = !reports.is_empty() && gained == 0 && !self.shared.is_complete();
+        if stalled_now && !escalate {
+            eprintln!(
+                "icd-node: peer {} round {round} gained nothing while incomplete; \
+                 escalating next round to speculative dials",
+                self.config.id
+            );
+        }
+        self.stalled.store(stalled_now, Ordering::SeqCst);
+        reports
     }
 
     /// Stops the listener and joins every serve thread. Idempotent.
@@ -392,18 +523,14 @@ impl Drop for Node {
 }
 
 /// Serves one accepted connection: hello, snapshot per the requested
-/// epoch, one sender session.
-fn serve_one(
-    mut stream: TcpStream,
-    read_timeout: Option<Duration>,
-    rounds: &Mutex<Rounds>,
-    shared: &SharedWorkingSet,
-    log: &Mutex<Vec<(u32, WireStats)>>,
-) -> Result<(), DriveError> {
-    let _ = stream.set_read_timeout(read_timeout);
+/// epoch, one sender session. Connection-level failures are absorbed as
+/// degraded sessions — logged, counted, never fatal to the daemon.
+fn serve_one(mut stream: TcpStream, ctx: &ServeCtx) {
+    let _ = stream.set_read_timeout(ctx.read_timeout);
+    let _ = stream.set_write_timeout(ctx.write_timeout);
     let _ = stream.set_nodelay(true);
     let Ok(hello) = Hello::read_from(&mut stream) else {
-        return Ok(()); // not a protocol peer (e.g. the stop wake-up)
+        return; // not a protocol peer (e.g. the stop wake-up)
     };
     let (_, sender_seed) = session_machine_seeds(hello.seed);
     let snapshot = match hello.epoch {
@@ -411,85 +538,273 @@ fn serve_one(
         // harness's lockstep) gets the live set — completion still
         // works; exact parity is a barrier-mode guarantee.
         SessionEpoch::Round(r) => {
-            let frozen = rounds.lock().expect("rounds lock").serve.get(r as usize).cloned();
-            frozen.unwrap_or_else(|| shared.snapshot())
+            let frozen = ctx
+                .rounds
+                .lock()
+                .expect("rounds lock")
+                .serve
+                .get(r as usize)
+                .cloned();
+            frozen.unwrap_or_else(|| ctx.shared.snapshot())
         }
-        SessionEpoch::Live => shared.snapshot(),
+        SessionEpoch::Live => ctx.shared.snapshot(),
     };
-    let stats = match serve_session(&mut stream, snapshot, sender_seed) {
-        Ok(stats)
-        | Err(DriveError::PeerClosed { stats } | DriveError::ReadTimeout { stats }) => stats,
-        Err(e) => return Err(e),
+    let sever = {
+        let mut pending = ctx.chaos_pending.lock().expect("chaos lock");
+        pending
+            .iter()
+            .position(|&d| d == hello.dialer)
+            .map(|i| {
+                pending.swap_remove(i);
+                ctx.frame_budget
+            })
     };
-    log.lock().expect("serve log lock").push((hello.dialer, stats));
-    Ok(())
+    match serve_session_budgeted(&mut stream, snapshot, sender_seed, sever) {
+        Ok(outcome) => {
+            if outcome.status.is_degraded() {
+                ctx.degraded.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "icd-node: serve session from dialer {} degraded: {:?}",
+                    hello.dialer, outcome.status
+                );
+            }
+            ctx.log
+                .lock()
+                .expect("serve log lock")
+                .push((hello.dialer, outcome.stats));
+        }
+        Err(e) => {
+            // A misbehaving dialer (protocol/machine error): drop the
+            // session, keep the daemon serving everyone else.
+            ctx.degraded.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "icd-node: serve session from dialer {} failed: {e}",
+                hello.dialer
+            );
+        }
+    }
 }
 
-/// Dials `from` and runs one fetch session, mirroring the engine's
-/// receiver-side construction.
-#[allow(clippy::too_many_arguments)]
-fn fetch_one(
+/// One planned fetch, bundled for its worker thread.
+struct FetchJob {
     from: PeerId,
     round: u32,
+    /// Session seed of the round's planned attempt ([`round_seed`]).
     seed: u64,
+    /// Base link seed — jitter salt and the root of retry seeds.
+    link_seed: u64,
     addr: Option<SocketAddr>,
     payload: usize,
     id: PeerId,
+    /// Barrier-frozen receiver snapshot ids (attempt 1 only).
+    snapshot_ids: Vec<u64>,
+    /// Symbols missing at the barrier (attempt 1 only).
+    request: u64,
+    universe: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    policy: RetryPolicy,
+    /// Stall escalation: dial [`SessionEpoch::Live`] with coarse policy
+    /// knobs so the sender streams recoded symbols instead of filtering
+    /// through an approximate digest whose false positives are stuck.
+    escalate: bool,
+}
+
+/// Session seed for retry `attempt` (≥ 2) of a round fetch: distinct
+/// from the round seed so a resumed session never replays the original
+/// symbol stream, deterministic so a chaos run replays exactly.
+pub(crate) fn retry_seed(link_seed: u64, round: u32, attempt: u32) -> u64 {
+    icd_util::hash::mix64(round_seed(link_seed, round) ^ RETRY_SEED_SALT ^ u64::from(attempt))
+}
+
+/// Dials `from` and runs one fetch session, mirroring the engine's
+/// receiver-side construction — then, on *transient* failure (peer
+/// closed, deadline fired, stream truncated mid-frame, dial refused),
+/// redials under the job's [`RetryPolicy`].
+///
+/// Attempt 1 is the planned round session: barrier-frozen snapshot,
+/// `Round` epoch, the round seed — byte parity with the simulator.
+/// Retries are *resumptions*: a fresh [`SessionEpoch::Live`] hello
+/// advertising the node's **current** working set (everything decoded
+/// so far, including symbols the dead session delivered before it
+/// died), so recovery never re-fetches a byte of prior progress. If
+/// the node finished while backing off, the retry is skipped entirely.
+fn fetch_one(job: FetchJob, shared: &SharedWorkingSet) -> FetchReport {
+    let mut total = WireStats::default();
+    let mut gained_total = 0u64;
+    let mut retries = 0u32;
+    let mut attempt = 1u32;
+    loop {
+        let (epoch, ids, request, seed) = if attempt == 1 && job.escalate {
+            // Stall escalation: a live speculative dial over the current
+            // set. The request carries a decoding allowance (§6.1) since
+            // recoded symbols are not individually guaranteed useful.
+            // `retry_seed(.., 1)` is otherwise unused (redials start at
+            // attempt 2), so the escalated stream never replays any
+            // planned or retried stream of this round.
+            let held = shared.sorted_ids();
+            let missing = (job.universe.saturating_sub(held.len())) as u64;
+            if missing == 0 {
+                return FetchReport {
+                    from: job.from,
+                    round: job.round,
+                    seed: job.seed,
+                    outcome: Ok(FetchOutcome {
+                        stats: total,
+                        gained: gained_total,
+                        rejected: false,
+                    }),
+                    stats: total,
+                    retries,
+                };
+            }
+            (
+                SessionEpoch::Live,
+                held,
+                missing * 2 + 4,
+                retry_seed(job.link_seed, job.round, 1),
+            )
+        } else if attempt == 1 {
+            (
+                SessionEpoch::Round(job.round as u8),
+                job.snapshot_ids.clone(),
+                job.request,
+                job.seed,
+            )
+        } else {
+            // Resumption: re-summarize the now-larger working set.
+            let held = shared.sorted_ids();
+            let missing = (job.universe.saturating_sub(held.len())) as u64;
+            if missing == 0 {
+                // Finished while backing off — nothing left to dial for.
+                return FetchReport {
+                    from: job.from,
+                    round: job.round,
+                    seed: job.seed,
+                    outcome: Ok(FetchOutcome {
+                        stats: total,
+                        gained: gained_total,
+                        rejected: false,
+                    }),
+                    stats: total,
+                    retries,
+                };
+            }
+            (
+                SessionEpoch::Live,
+                held,
+                missing,
+                retry_seed(job.link_seed, job.round, attempt),
+            )
+        };
+        match dial_once(&job, epoch, &ids, request, seed, job.escalate, shared) {
+            Ok(outcome) => {
+                total += outcome.stats;
+                gained_total += outcome.gained;
+                return FetchReport {
+                    from: job.from,
+                    round: job.round,
+                    seed: job.seed,
+                    outcome: Ok(FetchOutcome {
+                        stats: total,
+                        gained: gained_total,
+                        rejected: outcome.rejected,
+                    }),
+                    stats: total,
+                    retries,
+                };
+            }
+            Err((msg, stats, gained, transient)) => {
+                total += stats;
+                gained_total += gained;
+                if transient && job.policy.allows_retry(attempt) {
+                    retries += 1;
+                    std::thread::sleep(job.policy.backoff(attempt, job.link_seed));
+                    attempt += 1;
+                    continue;
+                }
+                return FetchReport {
+                    from: job.from,
+                    round: job.round,
+                    seed: job.seed,
+                    outcome: Err(msg),
+                    stats: total,
+                    retries,
+                };
+            }
+        }
+    }
+}
+
+/// One dial + one session. The error arm carries the failure message,
+/// any partial wire counters and gains, and whether the failure is
+/// transient (worth a redial) — protocol and machine errors are not.
+/// With `speculative`, the receiver advertises itself as not
+/// fine-grained capable, so policy plans a recoded transfer instead of
+/// building an approximate digest (the stall-escalation path).
+fn dial_once(
+    job: &FetchJob,
+    epoch: SessionEpoch,
     snapshot_ids: &[u64],
     request: u64,
+    seed: u64,
+    speculative: bool,
     shared: &SharedWorkingSet,
-    timeout: Option<Duration>,
-) -> FetchReport {
-    let fail = |msg: &'static str, stats: WireStats| FetchReport {
-        from,
-        round,
-        seed,
-        outcome: Err(msg),
-        stats,
-    };
-    let Some(addr) = addr else {
-        return fail("peer not in roster", WireStats::default());
+) -> Result<FetchOutcome, (&'static str, WireStats, u64, bool)> {
+    let Some(addr) = job.addr else {
+        return Err(("peer not in roster", WireStats::default(), 0, false));
     };
     let Ok(mut stream) = TcpStream::connect(addr) else {
-        return fail("connect failed", WireStats::default());
+        // Refused dials are transient: the peer may be mid-restart.
+        return Err(("connect failed", WireStats::default(), 0, true));
     };
-    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_read_timeout(job.read_timeout);
+    let _ = stream.set_write_timeout(job.write_timeout);
     let _ = stream.set_nodelay(true);
     let hello = Hello {
-        dialer: id as u32,
+        dialer: job.id as u32,
         seed,
-        epoch: SessionEpoch::Round(round as u8),
+        epoch,
     };
     if hello.write_to(&mut stream).is_err() {
-        return fail("hello write failed", WireStats::default());
+        return Err(("hello write failed", WireStats::default(), 0, true));
     }
 
     // Receiver snapshot exactly as `connect_session` builds it: the
-    // ids held at the barrier, *sorted*, expanded through the shared
-    // payload convention.
+    // ids held at the barrier (or, on a resumption, right now),
+    // *sorted*, expanded through the shared payload convention.
     let snapshot = WorkingSet::from_symbols(snapshot_ids.iter().map(|&sym_id| {
         icd_fountain::EncodedSymbol {
             id: sym_id,
-            payload: session_payload(sym_id, payload),
+            payload: session_payload(sym_id, job.payload),
         }
     }));
     let (receiver_seed, _) = session_machine_seeds(seed);
-    let config = SessionConfig::new()
+    let mut config = SessionConfig::new()
         .with_request(request)
         .with_seed(receiver_seed);
+    if speculative {
+        config = config.with_knobs(PolicyKnobs {
+            fine_grained_capable: false,
+            ..PolicyKnobs::default()
+        });
+    }
 
     match fetch_session(&mut stream, snapshot, config, shared) {
-        Ok(outcome) => FetchReport {
-            from,
-            round,
-            seed,
-            outcome: Ok(outcome),
-            stats: outcome.stats,
+        Ok(outcome) => Ok(outcome),
+        Err(FetchError { error, gained }) => match error {
+            DriveError::PeerClosed { stats } => {
+                Err(("peer closed mid-session", stats, gained, true))
+            }
+            DriveError::ReadTimeout { stats } => Err(("read timeout", stats, gained, true)),
+            DriveError::Transport(e) => Err((
+                "transport error",
+                WireStats::default(),
+                gained,
+                e.is_transient(),
+            )),
+            DriveError::Machine(_) => Err(("machine error", WireStats::default(), gained, false)),
         },
-        Err(DriveError::PeerClosed { stats }) => fail("peer closed mid-session", stats),
-        Err(DriveError::ReadTimeout { stats }) => fail("read timeout", stats),
-        Err(DriveError::Transport(_)) => fail("transport error", WireStats::default()),
-        Err(DriveError::Machine(_)) => fail("machine error", WireStats::default()),
     }
 }
 

@@ -22,8 +22,11 @@
 //!   [`connection::serve_session`], and the tiny hello preamble that
 //!   carries `(dialer, link seed, epoch)` ahead of the first frame.
 //! * [`daemon`] — the peer runtime: listener thread serving many
-//!   inbound sessions, parallel fetches, and a roster speaking
-//!   `icd-swarm`'s [`icd_swarm::SwarmEvent`] membership vocabulary.
+//!   inbound sessions, parallel fetches with crash recovery, and a
+//!   roster speaking `icd-swarm`'s [`icd_swarm::SwarmEvent`]
+//!   membership vocabulary.
+//! * [`retry`] — capped exponential backoff with seeded jitter; the
+//!   redial discipline behind the daemon's transient-failure recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,12 +34,17 @@
 pub mod connection;
 pub mod daemon;
 pub mod plan;
+pub mod retry;
 pub mod shared;
 
-pub use connection::{fetch_session, serve_session, FetchOutcome, Hello, HelloError, SessionEpoch};
-pub use daemon::{FetchReport, Node, NodeConfig, Roster};
-pub use plan::{
-    link_seed, predict, round_seed, DistributionSpec, PlannedLink, Prediction, SpecParseError,
-    SwarmPlan, MAX_ROUNDS,
+pub use connection::{
+    fetch_session, serve_session, serve_session_budgeted, FetchError, FetchOutcome, Hello,
+    HelloError, ServeOutcome, ServeStatus, SessionEpoch,
 };
+pub use daemon::{DaemonConfig, FetchReport, Node, NodeConfig, Roster, ServeChaos};
+pub use plan::{
+    link_seed, predict, predict_faulty, round_seed, DistributionSpec, FaultyPrediction,
+    PlannedLink, Prediction, SpecParseError, SwarmPlan, MAX_ROUNDS,
+};
+pub use retry::RetryPolicy;
 pub use shared::SharedWorkingSet;

@@ -3,7 +3,8 @@
 //! ```text
 //! icd-node --id 2 --spec seed=7,nodes=5,seeders=1,universe=80,share=30,payload=64,topo=ring2 \
 //!          [--listen 127.0.0.1:0] [--roster "0=127.0.0.1:4000 1=127.0.0.1:4001"] \
-//!          [--timeout-ms 30000] [--harness]
+//!          [--timeout-ms 30000] [--max-retries 2] [--harness] \
+//!          [--chaos-sever-dialer <id>]... [--chaos-sever-after 4]
 //! ```
 //!
 //! Every process derives the identical distribution plan from `--spec`
@@ -22,8 +23,20 @@
 //! EVENT REJOIN <id> [addr]
 //! EVENT JOIN <addr>
 //! EVENT REWIRE <id>
+//! STATS                      print degraded-serve / distinct / complete
 //! QUIT                       stop serving and exit
 //! ```
+//!
+//! `GO` additionally prints one `RETRY <round> <from> <count>` line per
+//! fetch that needed redials — never on a fault-free run, so existing
+//! harnesses that pattern-match `FETCH`/`DONE` are unaffected.
+//!
+//! `--timeout-ms` sets both the read and write deadline on every
+//! socket; `--max-retries` bounds redials after transient failures
+//! (peer closed, deadline fired, truncated stream). The
+//! `--chaos-sever-*` flags arm deterministic serve-side fault
+//! injection: the first session from each listed dialer is cut after a
+//! fixed number of data frames (chaos tests only).
 //!
 //! The harness sends `ROUND` to **every** node (and collects every
 //! `ROUND-OK`) before sending any `GO` — that barrier is what makes the
@@ -37,7 +50,7 @@ use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use icd_node::daemon::parse_roster;
-use icd_node::{DistributionSpec, Node, NodeConfig, Roster};
+use icd_node::{DaemonConfig, DistributionSpec, Node, Roster, RetryPolicy, ServeChaos};
 use icd_swarm::SwarmEvent;
 
 fn fatal(msg: &str) -> ! {
@@ -51,7 +64,10 @@ struct Args {
     listen: String,
     roster: Option<String>,
     timeout_ms: u64,
+    max_retries: u32,
     harness: bool,
+    chaos_sever_dialers: Vec<u32>,
+    chaos_sever_after: u64,
 }
 
 fn parse_args() -> Args {
@@ -60,7 +76,10 @@ fn parse_args() -> Args {
     let mut listen = "127.0.0.1:0".to_string();
     let mut roster = std::env::var("ICD_NODE_ROSTER").ok();
     let mut timeout_ms = 30_000;
+    let mut max_retries = RetryPolicy::default().max_retries;
     let mut harness = false;
+    let mut chaos_sever_dialers = Vec::new();
+    let mut chaos_sever_after = 4;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,7 +99,24 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fatal("bad --timeout-ms"));
             }
+            "--max-retries" => {
+                max_retries = value("--max-retries")
+                    .parse()
+                    .unwrap_or_else(|_| fatal("bad --max-retries"));
+            }
             "--harness" => harness = true,
+            "--chaos-sever-dialer" => {
+                chaos_sever_dialers.push(
+                    value("--chaos-sever-dialer")
+                        .parse()
+                        .unwrap_or_else(|_| fatal("bad --chaos-sever-dialer")),
+                );
+            }
+            "--chaos-sever-after" => {
+                chaos_sever_after = value("--chaos-sever-after")
+                    .parse()
+                    .unwrap_or_else(|_| fatal("bad --chaos-sever-after"));
+            }
             other => fatal(&format!("unknown flag {other:?}")),
         }
     }
@@ -101,7 +137,10 @@ fn parse_args() -> Args {
         listen,
         roster,
         timeout_ms,
+        max_retries,
         harness,
+        chaos_sever_dialers,
+        chaos_sever_after,
     }
 }
 
@@ -113,6 +152,14 @@ fn go(node: &Node, roster: &Roster, my_id: usize) {
             Ok(outcome) => (outcome.gained, "ok".to_string()),
             Err(msg) => (0, msg.replace(' ', "-")),
         };
+        if report.retries > 0 {
+            writeln!(
+                out,
+                "RETRY {} {} {}",
+                report.round, report.from, report.retries
+            )
+            .expect("stdout");
+        }
         writeln!(
             out,
             "FETCH {} {} {} {} {} {} {}",
@@ -167,11 +214,18 @@ fn apply_event(roster: &mut Roster, words: &[&str]) {
 
 fn main() {
     let args = parse_args();
-    let config = NodeConfig {
+    let chaos = (!args.chaos_sever_dialers.is_empty()).then(|| ServeChaos {
+        sever_dialers: args.chaos_sever_dialers.clone(),
+        frame_budget: args.chaos_sever_after,
+    });
+    let config = DaemonConfig {
         id: args.id,
         spec: args.spec,
         listen: args.listen.clone(),
         read_timeout: Some(Duration::from_millis(args.timeout_ms)),
+        write_timeout: Some(Duration::from_millis(args.timeout_ms)),
+        retry: RetryPolicy::with_retries(args.max_retries),
+        chaos,
     };
     let mut node = Node::start(config).unwrap_or_else(|e| fatal(&format!("bind failed: {e}")));
     println!("LISTEN {}", node.local_addr());
@@ -207,6 +261,15 @@ fn main() {
             ["QUIT"] => break,
             ["GO"] => go(&node, &roster, args.id),
             ["ROUND"] => println!("ROUND-OK {}", node.advance_round()),
+            ["STATS"] => {
+                let shared = node.shared();
+                println!(
+                    "STATS {} {} {}",
+                    node.degraded_sessions(),
+                    shared.distinct(),
+                    u8::from(shared.is_complete())
+                );
+            }
             ["ROSTER", rest @ ..] => match parse_roster(&rest.join(" "), args.spec.nodes) {
                 Ok(r) => {
                     roster = r;

@@ -218,14 +218,20 @@ const ROUND_SALT: u64 = 0x1CD0_2D01;
 
 /// Most reconciliation rounds a swarm will run before giving up.
 /// Coverage gaps close geometrically (every round spreads symbols one
-/// hop further) and summary false positives re-draw under fresh session
-/// seeds, so real plans finish in two or three.
+/// hop further), so real plans finish in two or three. Note that
+/// re-keying rounds does **not** re-draw approximate-summary false
+/// positives — a digest is a pure function of the two working sets —
+/// which is why a node whose round gained nothing escalates to a
+/// speculative dial instead of merely waiting for the next seed (see
+/// `Node::stall_escalations`).
 pub const MAX_ROUNDS: u32 = 16;
 
 /// The session seed a link uses in reconciliation round `round`.
-/// Round 0 is the link seed itself; later rounds re-key so summary
-/// false positives (which withhold symbols for a whole session) are
-/// redrawn instead of repeated.
+/// Round 0 is the link seed itself; later rounds re-key so the
+/// sender's candidate shuffle and recoding draws differ per round.
+/// (Approximate-summary false positives do *not* re-draw — the digest
+/// ignores the session seed — the daemon's stall escalation covers
+/// that case.)
 #[must_use]
 pub fn round_seed(link_seed: u64, round: u32) -> u64 {
     if round == 0 {
@@ -395,6 +401,170 @@ pub fn predict(plan: &SwarmPlan) -> Prediction {
     }
 }
 
+/// A [`predict`]-style oracle for a run with injected session cuts:
+/// what the simulator says a *recovering* swarm does.
+///
+/// Unlike the fault-free prediction this is a **bound**, not a
+/// byte-equality oracle: the daemon's chaos hook cuts a session after a
+/// frame budget while the replay cuts on a tick boundary, so the two
+/// worlds sever at slightly different points in the symbol stream. The
+/// replay still pins down the structure — which links pay twice, how
+/// many resumption sessions run — and [`FaultyPrediction::byte_bound`]
+/// turns that into a ceiling the chaos harness asserts against.
+#[derive(Debug, Clone)]
+pub struct FaultyPrediction {
+    /// The fault-free oracle for the same plan.
+    pub base: Prediction,
+    /// The replayed faulty outcome. Severed links' byte counts include
+    /// both the dead attempt and its resumption session.
+    pub faulty: Prediction,
+    /// Plan-link indices that were severed in the replay.
+    pub severed: Vec<usize>,
+    /// Resumption sessions the replay performed.
+    pub retries: u64,
+}
+
+impl FaultyPrediction {
+    /// Ceiling on total wire bytes a recovering daemon swarm may move:
+    /// the costlier of the two replays, plus two full fault-free
+    /// sessions of slack per severed link (one for the dead attempt's
+    /// worst case, one for timing skew between the daemon's
+    /// frame-budget cut and the replay's tick cut).
+    #[must_use]
+    pub fn byte_bound(&self) -> u64 {
+        let slack: u64 = self
+            .severed
+            .iter()
+            .map(|&i| 2 * self.base.link_bytes[i])
+            .sum();
+        self.base.total_bytes().max(self.faulty.total_bytes()) + slack
+    }
+}
+
+/// Replays `plan` with the listed `(from, to)` session links severed
+/// `cut_ticks` into round 0 and resumed immediately — the simulator
+/// twin of the daemon's `ServeChaos` + retry recovery. The resumption
+/// session reconnects on the receiver's *current* state (the engine's
+/// refresh-on-connect), exactly mirroring the daemon's `Live`-epoch
+/// redial, under the same `retry_seed` the daemon would use.
+///
+/// # Panics
+/// If a severed pair is not a planned link, or a round fails to drain.
+#[must_use]
+pub fn predict_faulty(
+    plan: &SwarmPlan,
+    severed_pairs: &[(PeerId, PeerId)],
+    cut_ticks: u64,
+) -> FaultyPrediction {
+    let base = predict(plan);
+    let severed: Vec<usize> = severed_pairs
+        .iter()
+        .map(|&(from, to)| {
+            plan.links
+                .iter()
+                .position(|l| l.from == from && l.to == to)
+                .expect("severed pair is a planned link")
+        })
+        .collect();
+
+    let spec = &plan.spec;
+    let mut net = OverlayNet::new(spec.seed).with_payload_bytes(spec.payload);
+    let mut nodes = Vec::with_capacity(spec.nodes);
+    for n in 0..spec.nodes {
+        let id = if spec.is_seeder(n) {
+            net.add_seeder(&plan.shares[n])
+        } else {
+            net.add_node(&plan.shares[n], spec.universe)
+        };
+        nodes.push(id);
+    }
+    let mut link_bytes = vec![0u64; plan.links.len()];
+    let mut rounds = 0;
+    let mut retries = 0u64;
+    for round in 0..MAX_ROUNDS {
+        let pending: Vec<usize> = (0..plan.links.len())
+            .filter(|&i| !net.node_complete(nodes[plan.links[i].to]))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        rounds = round + 1;
+        let mut round_links: Vec<(usize, _)> = pending
+            .iter()
+            .map(|&i| {
+                let link = &plan.links[i];
+                let id = net
+                    .connect_session(
+                        nodes[link.from],
+                        nodes[link.to],
+                        Link::default(),
+                        round_seed(link.seed, round),
+                    )
+                    .expect("planned links are well-formed");
+                (i, id)
+            })
+            .collect();
+        if round == 0 && !severed.is_empty() {
+            let pause = net.now() + cut_ticks;
+            let reason = net.run(RunLimit {
+                max_ticks: 1_000_000_000,
+                stop_before: Some(pause),
+            });
+            // If the round drained before the cut (tiny spec), there is
+            // nothing left to sever and no resumption runs.
+            if reason == StopReason::Paused {
+                for slot in &mut round_links {
+                    let (i, l) = *slot;
+                    if !severed.contains(&i) {
+                        continue;
+                    }
+                    // Bill the dead attempt, cut it, redial on the
+                    // receiver's current state.
+                    let (sent, _) = net.link_wire_bytes(l);
+                    link_bytes[i] += sent;
+                    net.disconnect(l);
+                    let link = &plan.links[i];
+                    let resumed = net
+                        .connect_session(
+                            nodes[link.from],
+                            nodes[link.to],
+                            Link::default(),
+                            retry_seed_for_replay(link.seed, round),
+                        )
+                        .expect("resumption link is well-formed");
+                    retries += 1;
+                    *slot = (i, resumed);
+                }
+            }
+        }
+        let reason = net.run(RunLimit::ticks(1_000_000_000));
+        assert_eq!(reason, StopReason::Stalled, "sessions must drain");
+        for (i, l) in round_links {
+            let (sent, _) = net.link_wire_bytes(l);
+            link_bytes[i] += sent;
+        }
+    }
+    let faulty = Prediction {
+        completed: nodes.iter().map(|&n| net.node_complete(n)).collect(),
+        distinct: nodes.iter().map(|&n| net.node_distinct(n)).collect(),
+        link_bytes,
+        rounds,
+    };
+    FaultyPrediction {
+        base,
+        faulty,
+        severed,
+        retries,
+    }
+}
+
+/// The session seed the daemon's first redial of a round-`round` fetch
+/// uses (`crate::daemon`'s retry attempt 2) — re-derived here so the
+/// replay and the real recovery draw identical symbol streams.
+fn retry_seed_for_replay(link_seed: u64, round: u32) -> u64 {
+    crate::daemon::retry_seed(link_seed, round, 2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,5 +661,34 @@ mod tests {
         );
         // Prediction is itself deterministic.
         assert_eq!(p, predict(&plan));
+    }
+
+    #[test]
+    fn faulty_prediction_recovers_and_bounds_the_damage() {
+        let plan = SwarmPlan::new(spec());
+        // Sever one non-seeder-to-non-seeder link mid-round-0.
+        let victim = plan
+            .links
+            .iter()
+            .find(|l| !plan.spec.is_seeder(l.from))
+            .expect("reference topology has leecher-to-leecher links");
+        let fp = predict_faulty(&plan, &[(victim.from, victim.to)], 24);
+
+        // Recovery is total: the cut changes the path, not the outcome.
+        assert!(fp.faulty.completed.iter().all(|&c| c));
+        assert_eq!(fp.faulty.distinct, fp.base.distinct);
+        assert_eq!(fp.retries, 1, "one sever, one resumption");
+        assert_eq!(fp.severed.len(), 1);
+
+        // The replay never exceeds its own ceiling, and the ceiling is
+        // not vacuous (within slack of the fault-free run).
+        assert!(fp.faulty.total_bytes() <= fp.byte_bound());
+        let slack: u64 = fp.severed.iter().map(|&i| 2 * fp.base.link_bytes[i]).sum();
+        assert!(fp.byte_bound() <= fp.base.total_bytes().max(fp.faulty.total_bytes()) + slack);
+
+        // Deterministic replay.
+        let again = predict_faulty(&plan, &[(victim.from, victim.to)], 24);
+        assert_eq!(fp.faulty, again.faulty);
+        assert_eq!(fp.retries, again.retries);
     }
 }

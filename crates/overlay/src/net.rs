@@ -1634,6 +1634,18 @@ impl<'s> OverlayNet<'s> {
         self.links.iter().map(|l| l.control_bytes).sum()
     }
 
+    /// Net-wide framed bytes sent but never delivered: frames dropped by
+    /// lossy links plus frames in flight when their link was cut. This
+    /// is the failure plane's waste metric — on a fault-free, loss-free
+    /// run it is exactly zero, which the parity goldens rely on.
+    #[must_use]
+    pub fn wasted_wire_bytes(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.bytes_sent - l.bytes_delivered)
+            .sum()
+    }
+
     /// The transfer plan a session link's machines negotiated: `None`
     /// for packet links and until the handshake resolves.
     #[must_use]
@@ -1751,6 +1763,9 @@ pub struct MeshOutcome {
     /// `transfer.packets_from_partial` (send-time booking, ring links
     /// excluded).
     pub wire_bytes: u64,
+    /// Framed bytes the receiver-facing links sent that never arrived —
+    /// loss- or cut-induced waste. Zero on loss-free, fault-free runs.
+    pub wasted_wire_bytes: u64,
     /// Events the engine processed.
     pub events: u64,
     /// Why the run stopped.
@@ -1848,12 +1863,20 @@ pub fn run_mesh_download(
         .iter()
         .map(|&l| net.link_wire_bytes(l).0 + net.link_control_bytes(l))
         .sum();
+    let wasted_wire_bytes = links
+        .iter()
+        .map(|&l| {
+            let (sent, delivered) = net.link_wire_bytes(l);
+            sent - delivered
+        })
+        .sum();
     MeshOutcome {
         transfer,
         summaries,
         packets_lost,
         seeder_gained,
         wire_bytes,
+        wasted_wire_bytes,
         events: net.events_processed(),
         stop,
     }

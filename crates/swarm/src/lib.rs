@@ -11,17 +11,22 @@
 //!   edge presets;
 //! * [`membership`] — the [`SwarmEvent`] stream
 //!   (`Join`/`Leave`/`Rejoin`/`Rewire`) scheduled on the engine clock;
-//! * [`swarm`] — the [`Swarm`] driver interleaving membership events
-//!   and connection maintenance with engine execution, deterministic in
-//!   `(config, seed)` at any thread count.
+//! * [`faults`] — the deterministic fault-injection plane: a seeded
+//!   [`FaultPlan`] of crashes, link cuts, stalls, frame truncations,
+//!   and rate collapses, replayed on the same clock;
+//! * [`swarm`] — the [`Swarm`] driver interleaving membership events,
+//!   fault injection, and connection maintenance with engine execution,
+//!   deterministic in `(config, seed)` at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod membership;
 pub mod swarm;
 pub mod topology;
 
+pub use faults::{FaultConfig, FaultEvent, FaultPlan};
 pub use icd_overlay::net::Link;
 pub use membership::{churn_plan, ChurnConfig, PeerId, SwarmEvent};
 pub use swarm::{

@@ -32,6 +32,7 @@ use icd_overlay::SymbolId;
 use icd_summary::SummaryId;
 use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 
+use crate::faults::{FaultConfig, FaultEvent, FaultPlan};
 use crate::membership::{churn_plan, ChurnConfig, PeerId, SwarmEvent};
 use crate::topology::{build_topology, TopologyKind};
 
@@ -79,6 +80,10 @@ pub struct SwarmConfig {
     pub link_profiles: Vec<Link>,
     /// Membership churn schedule parameters.
     pub churn: ChurnConfig,
+    /// Fault-injection schedule parameters. [`FaultConfig::none`] (the
+    /// default) is a strict no-op: no fault RNG stream is consulted and
+    /// every existing outcome is byte-identical.
+    pub faults: FaultConfig,
     /// Ticks between connection-maintenance passes (exhausted links are
     /// re-handshaken; orphaned incomplete peers re-attach).
     pub refresh_interval: Time,
@@ -104,6 +109,7 @@ impl SwarmConfig {
             strategy: SwarmStrategy::Fixed(StrategyKind::RandomSummary(SummaryId::BLOOM)),
             link_profiles: vec![Link::default()],
             churn: ChurnConfig::none(),
+            faults: FaultConfig::none(),
             refresh_interval: 20,
             max_ticks: blocks as Time * 50 + 10_000,
         }
@@ -113,6 +119,13 @@ impl SwarmConfig {
     #[must_use]
     pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Replaces the fault-injection schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -227,6 +240,23 @@ pub struct SwarmOutcome {
     pub rewires: u32,
     /// Exhausted links re-handshaken by maintenance passes.
     pub reconnects: u64,
+    /// Sessions redialed directly by fault execution: the immediate
+    /// redial after a truncated frame, the slowed rebuilds after a rate
+    /// collapse, and the re-attachments of a restarted or un-stalled
+    /// peer. Zero on fault-free runs. (Fault-induced rebuilds the
+    /// *maintenance* pass performs — e.g. healing a cut link on the
+    /// refresh cadence — count in [`SwarmOutcome::reconnects`].)
+    pub retries: u64,
+    /// Framed wire bytes sent but never delivered: frames dropped by
+    /// lossy profiles plus frames in flight when a link was cut or its
+    /// peer crashed. Zero on loss-free, fault-free runs.
+    pub wasted_wire_bytes: u64,
+    /// Fault events that actually mutated the net (a cut aimed at a
+    /// linkless peer, for example, is scheduled but has no effect).
+    pub faults_applied: u32,
+    /// Scheduled fault events that never fired because the swarm
+    /// finished (or conceded a stall) first.
+    pub unapplied_faults: u32,
     /// Scheduled membership events that never fired because the swarm
     /// finished (or gave up) first — the download session disbands at
     /// all-nodes-complete, so a churn window stretching past that tick
@@ -274,6 +304,13 @@ pub struct Swarm {
     target: usize,
     schedule: Vec<(Time, SwarmEvent)>,
     next_event: usize,
+    /// The generated fault schedule, replayed on the same clock.
+    fault_schedule: Vec<(Time, FaultEvent)>,
+    next_fault: usize,
+    /// Victim-link selection for fault execution. Its own stream, so a
+    /// quiet fault plan leaves every other stream untouched — the
+    /// strict-no-op guarantee the parity goldens rely on.
+    fault_rng: Xoshiro256StarStar,
     /// Per-link sender seeds (one stream for the whole swarm lifetime).
     link_seeds: SplitMix64,
     /// Membership sampling (join inventories, attachment choices).
@@ -284,6 +321,8 @@ pub struct Swarm {
     rejoins: u32,
     rewires: u32,
     reconnects: u64,
+    retries: u64,
+    faults_applied: u32,
     /// Connections ever created (cycles the link profiles).
     links_created: usize,
 }
@@ -297,6 +336,7 @@ const LAST_RESORT_STARVATION: u32 = 3;
 const POOL_SEED_SALT: u64 = 0x5EED_0001;
 const LINK_SEED_SALT: u64 = 0x5EED_0002;
 const MEMBER_SEED_SALT: u64 = 0x5EED_0003;
+const FAULT_EXEC_SALT: u64 = 0x5EED_0004;
 
 impl Swarm {
     /// Builds the initial swarm: symbol pool, per-peer inventories,
@@ -354,6 +394,10 @@ impl Swarm {
             peers: Vec::with_capacity(cfg.peers),
             schedule: churn_plan(&cfg.churn, cfg.peers, cfg.seed_peers, seed),
             next_event: 0,
+            fault_schedule: FaultPlan::generate(&cfg.faults, cfg.peers, cfg.seed_peers, seed)
+                .events,
+            next_fault: 0,
+            fault_rng: Xoshiro256StarStar::new(icd_util::hash::mix64(seed ^ FAULT_EXEC_SALT)),
             link_seeds: SplitMix64::new(icd_util::hash::mix64(seed ^ LINK_SEED_SALT)),
             rng: Xoshiro256StarStar::new(icd_util::hash::mix64(seed ^ MEMBER_SEED_SALT)),
             total_needed: 0,
@@ -362,6 +406,8 @@ impl Swarm {
             rejoins: 0,
             rewires: 0,
             reconnects: 0,
+            retries: 0,
+            faults_applied: 0,
             links_created: 0,
             pool,
             target,
@@ -471,21 +517,36 @@ impl Swarm {
     }
 
     /// Connects `from → to` by roster index if `to` still needs symbols.
-    fn connect_pair(&mut self, from: PeerId, to: PeerId) {
+    fn connect_pair(&mut self, from: PeerId, to: PeerId) -> bool {
         let (f, t) = (self.peers[from].node, self.peers[to].node);
-        self.connect_nodes(f, t, 0);
+        self.connect_nodes(f, t, 0)
     }
 
     fn connect_nodes(&mut self, from: NodeId, to: NodeId, starved: u32) -> bool {
+        self.connect_nodes_with(from, to, starved, None)
+    }
+
+    /// As [`Swarm::connect_nodes`], with an optional profile override —
+    /// fault execution rebuilds rate-collapsed links on slowed profiles
+    /// instead of the configured cycle. The profile cycle position
+    /// (`links_created`) advances either way, so a collapsed rebuild
+    /// costs the same cycle slot a normal one would.
+    fn connect_nodes_with(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        starved: u32,
+        profile: Option<Link>,
+    ) -> bool {
         if self.net.node_remaining(to) == 0 {
             return false; // nothing to reconcile toward a complete peer
         }
         let strategy = self.link_strategy(from, to, starved);
         let spec = ConnectSpec::seeded(self.link_seeds.next_u64());
-        let profile = self.cfg.link_profiles[self.links_created % self.cfg.link_profiles.len()];
+        let cycled = self.cfg.link_profiles[self.links_created % self.cfg.link_profiles.len()];
         self.links_created += 1;
         self.net
-            .try_connect(from, to, strategy, profile, spec)
+            .try_connect(from, to, strategy, profile.unwrap_or(cycled), spec)
             .is_ok()
     }
 
@@ -504,11 +565,116 @@ impl Swarm {
 
     /// Attaches peer `p` to the live swarm: download links from
     /// `attach_degree` sampled present peers, and upload links back to
-    /// the ones that still need symbols.
-    fn attach(&mut self, p: PeerId) {
+    /// the ones that still need symbols. Returns the links built.
+    fn attach(&mut self, p: PeerId) -> u64 {
+        let mut built = 0u64;
         for q in self.sample_present(self.cfg.attach_degree, p) {
-            self.connect_pair(q, p);
-            self.connect_pair(p, q);
+            built += u64::from(self.connect_pair(q, p));
+            built += u64::from(self.connect_pair(p, q));
+        }
+        built
+    }
+
+    /// Executes one scheduled fault against the live net. Victim-link
+    /// choices draw from the dedicated fault RNG stream; rebuilds drawn
+    /// *after* a fault (re-attachments, redials) share the ordinary
+    /// membership/link streams — a faulty run is still a pure function
+    /// of `(config, seed)`, and a fault-free run never gets here.
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            // A crash is a leave nobody announced: same teardown, but
+            // booked on the fault counters, and the working set survives
+            // in the node — the restart advertises it wholesale.
+            FaultEvent::Crash(p) => {
+                if self.peers[p].present {
+                    self.net.disconnect_node(self.peers[p].node);
+                    self.peers[p].present = false;
+                    self.faults_applied += 1;
+                }
+            }
+            FaultEvent::Restart(p) => {
+                if !self.peers[p].present {
+                    self.peers[p].present = true;
+                    self.faults_applied += 1;
+                    let rebuilt = self.attach(p);
+                    self.retries += rebuilt;
+                }
+            }
+            FaultEvent::CutLink(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                let ins = self.net.node_in_links(self.peers[p].node);
+                if ins.is_empty() {
+                    return;
+                }
+                let victim = ins[self.fault_rng.index(ins.len())];
+                self.net.disconnect(victim);
+                self.faults_applied += 1;
+                // No redial here: the maintenance pass heals the cut on
+                // the refresh cadence (counted in `reconnects`).
+            }
+            FaultEvent::StallStart(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                let ins = self.net.node_in_links(self.peers[p].node).to_vec();
+                if ins.is_empty() {
+                    return;
+                }
+                for link in ins {
+                    self.net.disconnect(link);
+                }
+                self.faults_applied += 1;
+            }
+            FaultEvent::StallEnd(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                self.faults_applied += 1;
+                let rebuilt = self.attach(p);
+                self.retries += rebuilt;
+            }
+            // The daemon's truncated-frame path at engine scale: tear
+            // the session down, redial immediately against the current
+            // sets. The handshake and any in-flight frames are the waste
+            // the retry costs.
+            FaultEvent::TruncateFrame(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                let node = self.peers[p].node;
+                let ins = self.net.node_in_links(node);
+                if ins.is_empty() {
+                    return;
+                }
+                let victim = ins[self.fault_rng.index(ins.len())];
+                let (from, _) = self.net.link_ends(victim);
+                self.net.disconnect(victim);
+                self.faults_applied += 1;
+                self.retries += u64::from(self.connect_nodes(from, node, 0));
+            }
+            // Transient bandwidth collapse: every inbound link is
+            // rebuilt on a profile `slow_factor` times slower. Later
+            // maintenance rebuilds return to the configured cycle.
+            FaultEvent::RateCollapse(p) => {
+                if !self.peers[p].present {
+                    return;
+                }
+                let node = self.peers[p].node;
+                let ins = self.net.node_in_links(node).to_vec();
+                if ins.is_empty() {
+                    return;
+                }
+                self.faults_applied += 1;
+                let slow = Link::slower(self.cfg.faults.slow_factor.max(1));
+                for link in ins {
+                    let (from, _) = self.net.link_ends(link);
+                    self.net.disconnect(link);
+                    self.retries +=
+                        u64::from(self.connect_nodes_with(from, node, 0, Some(slow)));
+                }
+            }
         }
     }
 
@@ -645,7 +811,12 @@ impl Swarm {
         let mut packets_at_stall = u64::MAX;
         let stop = loop {
             let pending = self.schedule.get(self.next_event).map(|&(t, _)| t);
-            let pause = pending.map_or(next_refresh, |t| t.min(next_refresh));
+            let pending_fault = self.fault_schedule.get(self.next_fault).map(|&(t, _)| t);
+            let pause = [Some(next_refresh), pending, pending_fault]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("next_refresh is always present");
             let reason = self.net.run(RunLimit {
                 max_ticks: self.cfg.max_ticks,
                 stop_before: Some(pause),
@@ -659,6 +830,16 @@ impl Swarm {
                         }
                         self.apply_event(event);
                         self.next_event += 1;
+                    }
+                    // Faults due at the same pause fire after membership
+                    // events — a peer that left at tick t cannot also
+                    // crash at tick t.
+                    while let Some(&(t, fault)) = self.fault_schedule.get(self.next_fault) {
+                        if t > pause {
+                            break;
+                        }
+                        self.apply_fault(fault);
+                        self.next_fault += 1;
                     }
                     if pause >= next_refresh {
                         self.refresh_pass();
@@ -680,10 +861,17 @@ impl Swarm {
                     if rebuilt == 0 || dry_stalls >= 8 {
                         // Maintenance cannot help: fast-forward to the
                         // next membership event (a rejoin may bring the
-                        // missing symbols back), or concede the stall.
+                        // missing symbols back), then to the next fault
+                        // (a crashed peer's restart may be what revives
+                        // the swarm), or concede the stall.
                         if let Some(&(_, event)) = self.schedule.get(self.next_event) {
                             self.apply_event(event);
                             self.next_event += 1;
+                        } else if let Some(&(_, fault)) =
+                            self.fault_schedule.get(self.next_fault)
+                        {
+                            self.apply_fault(fault);
+                            self.next_fault += 1;
                         } else {
                             break StopReason::Stalled;
                         }
@@ -718,6 +906,10 @@ impl Swarm {
             rejoins: self.rejoins,
             rewires: self.rewires,
             reconnects: self.reconnects,
+            retries: self.retries,
+            wasted_wire_bytes: self.net.wasted_wire_bytes(),
+            faults_applied: self.faults_applied,
+            unapplied_faults: (self.fault_schedule.len() - self.next_fault) as u32,
             unapplied_events: (self.schedule.len() - self.next_event) as u32,
             stop,
         }
@@ -868,5 +1060,70 @@ mod tests {
         // (the Figure 7 redundancy), but informed links stay far below
         // the oblivious coupon-collector regime (4–8× at this scale).
         assert!(out.overhead < 3.0, "churned overhead {}", out.overhead);
+    }
+
+    fn chaos() -> FaultConfig {
+        FaultConfig {
+            crashes: 2,
+            downtime: 30,
+            link_cuts: 3,
+            stalls: 1,
+            stall_ticks: 15,
+            truncations: 3,
+            rate_collapses: 1,
+            slow_factor: 4,
+            window: (5, 120),
+        }
+    }
+
+    #[test]
+    fn faulted_swarm_completes_and_books_the_damage() {
+        // Latency keeps frames in flight, so cuts have something to
+        // strand (a zero-latency link delivers within the sending tick
+        // and can never waste a byte).
+        let latency = Link {
+            interval: 1,
+            latency: 3,
+            loss: 0.0,
+        };
+        let cfg = quiet(24, 70).with_link_profiles(vec![latency, Link::slower(2)]);
+        let out = run_swarm(cfg.with_faults(chaos()), 3);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete(), "completed {}/{}", out.completed, out.peers);
+        assert!(out.faults_applied > 0, "no fault ever landed");
+        assert!(out.retries > 0, "faults must have forced redials");
+        assert!(
+            out.wasted_wire_bytes > 0,
+            "cut links must strand in-flight bytes"
+        );
+        assert!(out.wasted_wire_bytes < out.wire_bytes, "waste is a fraction");
+        // Membership counters stay clean: faults are not churn.
+        assert_eq!(out.membership_events(), 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_quiet_plans_add_no_waste() {
+        let cfg = quiet(20, 60).with_faults(chaos());
+        let a = run_swarm(cfg.clone(), 9);
+        let b = run_swarm(cfg, 9);
+        assert_eq!(a, b);
+        // The default config carries FaultConfig::none(): zero fault
+        // counters and zero waste on loss-free links.
+        let clean = run_swarm(quiet(20, 60), 9);
+        assert_eq!(clean.faults_applied, 0);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.unapplied_faults, 0);
+        assert_eq!(clean.wasted_wire_bytes, 0);
+    }
+
+    #[test]
+    fn faults_compose_with_churn() {
+        let cfg = quiet(24, 60)
+            .with_churn(ChurnConfig::leaving(0.2, (5, 60), 25))
+            .with_faults(FaultConfig::link_cuts(4, (10, 80)));
+        let out = run_swarm(cfg, 11);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.all_complete());
+        assert!(out.leaves > 0 && out.faults_applied > 0);
     }
 }

@@ -79,6 +79,25 @@ impl std::fmt::Display for FrameError {
     }
 }
 
+impl FrameError {
+    /// Whether a retry over a *fresh* stream could plausibly succeed.
+    ///
+    /// Connection-level failures — the peer closed, the stream died
+    /// mid-frame, a read/write deadline fired, the OS surfaced an I/O
+    /// error — say nothing about the protocol state on either side, so
+    /// a dialer with a retry budget should redial. Protocol-level
+    /// failures ([`FrameError::TooLarge`], [`FrameError::Wire`]) mean
+    /// the *bytes themselves* are wrong; redialing the same peer buys
+    /// nothing.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Io(_) | Self::Closed | Self::Truncated { .. } | Self::TimedOut => true,
+            Self::TooLarge { .. } | Self::Wire(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for FrameError {}
 
 impl From<std::io::Error> for FrameError {
@@ -295,6 +314,16 @@ mod tests {
             read_frame_bytes(&mut cursor, FrameLimit::default()),
             Err(FrameError::Truncated { needed: 5, got: 7 })
         ));
+    }
+
+    #[test]
+    fn transience_splits_connection_from_protocol_failures() {
+        assert!(FrameError::Closed.is_transient());
+        assert!(FrameError::TimedOut.is_transient());
+        assert!(FrameError::Truncated { needed: 3, got: 1 }.is_transient());
+        assert!(FrameError::Io(std::io::Error::other("reset")).is_transient());
+        assert!(!FrameError::TooLarge { claimed: 9, limit: 1 }.is_transient());
+        assert!(!FrameError::Wire(WireError::BadTag(0xEE)).is_transient());
     }
 
     #[test]

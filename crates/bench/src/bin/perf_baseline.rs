@@ -78,6 +78,8 @@ fn main() {
     probes.push(net_events_probe(quick));
     probes.push(swarm_events_probe(quick));
     probes.push(faulty_swarm_events_probe(quick));
+    probes.push(swarm_sharded_events_probe(quick));
+    probes.push(swarm_peak_rss_probe());
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -351,6 +353,80 @@ fn faulty_swarm_events_probe(quick: bool) -> Probe {
             "{roster}-peer power-law(m=2) swarm, n={blocks}, {applied} link cuts \
              applied, all complete"
         ),
+    }
+}
+
+/// The churned-swarm geometry shared by `swarm_events_per_s` and its
+/// 8-shard twin, so the two numbers differ only in executor.
+fn churned_swarm_config(quick: bool) -> (icd_swarm::SwarmConfig, usize, usize) {
+    let peers = if quick { 250 } else { 1000 };
+    let blocks = if quick { 48 } else { 64 };
+    let profiles: Vec<icd_swarm::Link> =
+        [1u64, 2, 4, 8, 16].iter().map(|&i| icd_swarm::Link::slower(i)).collect();
+    let mut cfg = icd_swarm::SwarmConfig::new(
+        peers,
+        blocks,
+        icd_swarm::TopologyKind::PowerLaw { m: 2 },
+    )
+    .with_link_profiles(profiles)
+    .with_churn(icd_swarm::ChurnConfig {
+        leave_fraction: 0.10,
+        downtime: 60,
+        window: (5, 160),
+        joins: peers / 100,
+        rewires: peers / 50,
+    });
+    // Slow links deliver few packets per maintenance window; match the
+    // cadence so stagnation detection reflects rate, not impatience.
+    cfg.refresh_interval = 40;
+    (cfg, peers, blocks)
+}
+
+/// `swarm_events_per_s` with the engine pinned to 8 worker shards —
+/// byte-identical outcome (asserted against the serial run), different
+/// executor. Diffing this against the single-shard number is the
+/// sharding speedup on this host; on single-core builders it can dip
+/// below 1× (windowed generate/commit passes without parallel hardware
+/// are pure overhead), which is itself worth tracking.
+fn swarm_sharded_events_probe(quick: bool) -> Probe {
+    let (cfg, _, blocks) = churned_swarm_config(quick);
+    let serial = {
+        let mut swarm = icd_swarm::Swarm::new(cfg.clone(), SEED ^ 13);
+        swarm.set_shards(1);
+        swarm.run()
+    };
+    let mut events = 0u64;
+    let mut roster = 0usize;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        let mut swarm = icd_swarm::Swarm::new(cfg.clone(), SEED ^ 13);
+        swarm.set_shards(8);
+        let out = swarm.run();
+        assert_eq!(out, serial, "sharded probe diverged from serial outcome");
+        events = out.events;
+        roster = out.peers;
+    });
+    Probe {
+        name: "swarm_events_per_s_sharded",
+        value: events as f64 / secs,
+        unit: "events/s",
+        detail: format!(
+            "{roster}-peer power-law(m=2) swarm, n={blocks}, 10% churn, 8 shards, \
+             outcome equal to serial"
+        ),
+    }
+}
+
+/// Peak resident set after every swarm probe has run — the "does the
+/// workload fit in RAM" number the scale runs report. Probe order
+/// matters: this is pushed last so the high-water mark covers the
+/// largest geometry exercised above.
+fn swarm_peak_rss_probe() -> Probe {
+    let mb = icd_bench::peak_rss_mb().unwrap_or(0.0);
+    Probe {
+        name: "swarm_peak_rss_mb",
+        value: mb,
+        unit: "MB",
+        detail: "process VmHWM after all probes (procfs; 0 where unavailable)".to_string(),
     }
 }
 

@@ -17,8 +17,10 @@
 pub mod config;
 pub mod engine;
 pub mod experiments;
+pub mod mem;
 pub mod output;
 
 pub use config::ExpConfig;
 pub use engine::{Cell, ExperimentGrid, GridResults};
+pub use mem::peak_rss_mb;
 pub use output::Table;

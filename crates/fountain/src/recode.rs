@@ -308,6 +308,87 @@ pub struct RecodeScratch {
     sampler: DistinctSampler,
 }
 
+/// Sentinel for "no node" in a [`WatcherArena`] chain.
+const WATCH_NONE: u32 = u32::MAX;
+
+/// Flat watcher index: which buffered pending symbols are waiting on
+/// each unknown id.
+///
+/// The obvious representation — `FastHashMap<SymbolId, Vec<u32>>` — costs
+/// a separate heap allocation per watched id (most lists hold one or two
+/// slots) and 24 bytes of `Vec` header per map entry. At swarm scale
+/// that dominated the buffers' footprint. This arena stores every
+/// watcher as one 8-byte node in a single `Vec`, chained per id as an
+/// intrusive linked list; the map holds just a `(head, tail)` pair.
+/// Appending at the tail and walking from the head preserves the exact
+/// FIFO order the `Vec` lists had, so cascade order — and with it every
+/// golden outcome — is unchanged. Retired nodes go on a free stack and
+/// are reused, keeping the arena sized by *concurrent* watchers, not
+/// lifetime total.
+#[derive(Debug, Clone, Default)]
+struct WatcherArena {
+    /// Per-id chain endpoints: id → (head node, tail node).
+    lists: FastHashMap<SymbolId, (u32, u32)>,
+    /// Node store: `(slot, next)` — the pending slot watching, and the
+    /// next node in this id's chain ([`WATCH_NONE`] terminates).
+    nodes: Vec<(u32, u32)>,
+    /// Recycled node indices.
+    free: Vec<u32>,
+}
+
+impl WatcherArena {
+    fn with_capacity(ids: usize) -> Self {
+        Self {
+            lists: FastHashMap::with_capacity_and_hasher(ids, Default::default()),
+            nodes: Vec::with_capacity(ids),
+            free: Vec::new(),
+        }
+    }
+
+    /// Registers pending `slot` as watching `id` (appended in FIFO
+    /// position, matching the historical per-id `Vec` push order).
+    fn watch(&mut self, id: SymbolId, slot: u32) {
+        let node = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = (slot, WATCH_NONE);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.nodes.len()).expect("watcher arena overflow");
+                self.nodes.push((slot, WATCH_NONE));
+                i
+            }
+        };
+        match self.lists.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (_, tail) = *e.get();
+                self.nodes[tail as usize].1 = node;
+                e.get_mut().1 = node;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((node, node));
+            }
+        }
+    }
+
+    /// Detaches `id`'s chain and returns its head ([`WATCH_NONE`] if
+    /// nothing watches `id`). Walk it with [`WatcherArena::take_next`].
+    fn start(&mut self, id: SymbolId) -> u32 {
+        match self.lists.remove(&id) {
+            Some((head, _)) => head,
+            None => WATCH_NONE,
+        }
+    }
+
+    /// Consumes one node of a detached chain: recycles it and returns
+    /// `(slot, next)`.
+    fn take_next(&mut self, cur: u32) -> (u32, u32) {
+        let (slot, next) = self.nodes[cur as usize];
+        self.free.push(cur);
+        (slot, next)
+    }
+}
+
 /// Receiver-side substitution buffer for recoded symbols.
 ///
 /// Tracks which encoded symbols the receiver knows (with payloads),
@@ -324,14 +405,12 @@ pub struct RecodeScratch {
 pub struct RecodeBuffer {
     known: FastHashMap<SymbolId, SymbolBuf>,
     pending: Vec<Option<PendingRecoded>>,
-    watchers: FastHashMap<SymbolId, Vec<u32>>,
+    watchers: WatcherArena,
     /// Recoded symbols that arrived fully known (pure redundancy).
     redundant: u64,
     pool: SymbolPool,
     /// Retired `remaining` vectors, reused for later pending symbols.
     id_pool: Vec<Vec<SymbolId>>,
-    /// Retired watcher lists, reused for later watched ids.
-    watcher_pool: Vec<Vec<u32>>,
     /// Reusable cascade queue (empty between calls).
     queue: Vec<(SymbolId, SymbolBuf, bool)>,
 }
@@ -439,14 +518,7 @@ impl RecodeBuffer {
             _ => {
                 let slot = u32::try_from(self.pending.len()).expect("pending overflow");
                 for id in &remaining {
-                    self.watchers
-                        .entry(*id)
-                        .or_insert_with(|| {
-                            self.watcher_pool
-                                .pop()
-                                .unwrap_or_else(|| Vec::with_capacity(4))
-                        })
-                        .push(slot);
+                    self.watchers.watch(*id, slot);
                 }
                 self.pending.push(Some(PendingRecoded {
                     remaining,
@@ -485,34 +557,34 @@ impl RecodeBuffer {
                     },
                 });
             }
-            if let Some(mut watchers) = self.watchers.remove(&id) {
-                for slot in watchers.drain(..) {
-                    let Some(p) = self.pending[slot as usize].as_mut() else {
-                        continue;
-                    };
-                    let Some(pos) = p.remaining.iter().position(|x| *x == id) else {
-                        continue;
-                    };
-                    p.remaining.swap_remove(pos);
-                    p.payload.xor_buf(&data);
-                    match p.remaining.len() {
-                        0 => {
-                            // Fully consumed without yielding — redundant
-                            // in hindsight.
-                            let p = self.pending[slot as usize].take().expect("checked above");
-                            self.pool.release(p.payload);
-                            self.id_pool.push(p.remaining);
-                            self.redundant += 1;
-                        }
-                        1 => {
-                            let p = self.pending[slot as usize].take().expect("checked above");
-                            queue.push((p.remaining[0], p.payload, true));
-                            self.id_pool.push(p.remaining);
-                        }
-                        _ => {}
+            let mut cur = self.watchers.start(id);
+            while cur != WATCH_NONE {
+                let (slot, next) = self.watchers.take_next(cur);
+                cur = next;
+                let Some(p) = self.pending[slot as usize].as_mut() else {
+                    continue;
+                };
+                let Some(pos) = p.remaining.iter().position(|x| *x == id) else {
+                    continue;
+                };
+                p.remaining.swap_remove(pos);
+                p.payload.xor_buf(&data);
+                match p.remaining.len() {
+                    0 => {
+                        // Fully consumed without yielding — redundant
+                        // in hindsight.
+                        let p = self.pending[slot as usize].take().expect("checked above");
+                        self.pool.release(p.payload);
+                        self.id_pool.push(p.remaining);
+                        self.redundant += 1;
                     }
+                    1 => {
+                        let p = self.pending[slot as usize].take().expect("checked above");
+                        queue.push((p.remaining[0], p.payload, true));
+                        self.id_pool.push(p.remaining);
+                    }
+                    _ => {}
                 }
-                self.watcher_pool.push(watchers);
             }
             self.known.insert(id, data);
         }
@@ -536,12 +608,10 @@ pub struct IdRecodeBuffer {
     known: FastHashSet<SymbolId>,
     /// Unresolved component lists, slot-addressed by watchers.
     pending: Vec<Option<Vec<SymbolId>>>,
-    watchers: FastHashMap<SymbolId, Vec<u32>>,
+    watchers: WatcherArena,
     redundant: u64,
     /// Retired `remaining` vectors, reused for later pending symbols.
     id_pool: Vec<Vec<SymbolId>>,
-    /// Retired watcher lists, reused for later watched ids.
-    watcher_pool: Vec<Vec<u32>>,
     /// Reusable cascade queue (empty between calls).
     queue: Vec<SymbolId>,
 }
@@ -559,10 +629,7 @@ impl IdRecodeBuffer {
     pub fn with_capacity(expected_known: usize) -> Self {
         Self {
             known: FastHashSet::with_capacity_and_hasher(expected_known, Default::default()),
-            watchers: FastHashMap::with_capacity_and_hasher(
-                expected_known / 2,
-                Default::default(),
-            ),
+            watchers: WatcherArena::with_capacity(expected_known / 2),
             pending: Vec::with_capacity(expected_known / 2),
             ..Self::default()
         }
@@ -639,14 +706,7 @@ impl IdRecodeBuffer {
             _ => {
                 let slot = u32::try_from(self.pending.len()).expect("pending overflow");
                 for id in &remaining {
-                    self.watchers
-                        .entry(*id)
-                        .or_insert_with(|| {
-                            self.watcher_pool
-                                .pop()
-                                .unwrap_or_else(|| Vec::with_capacity(4))
-                        })
-                        .push(slot);
+                    self.watchers.watch(*id, slot);
                 }
                 self.pending.push(Some(remaining));
                 0
@@ -671,30 +731,30 @@ impl IdRecodeBuffer {
             if report {
                 gained += 1;
             }
-            if let Some(mut watchers) = self.watchers.remove(&id) {
-                for slot in watchers.drain(..) {
-                    let Some(rem) = self.pending[slot as usize].as_mut() else {
-                        continue;
-                    };
-                    let Some(pos) = rem.iter().position(|x| *x == id) else {
-                        continue;
-                    };
-                    rem.swap_remove(pos);
-                    match rem.len() {
-                        0 => {
-                            let rem = self.pending[slot as usize].take().expect("checked above");
-                            self.id_pool.push(rem);
-                            self.redundant += 1;
-                        }
-                        1 => {
-                            let rem = self.pending[slot as usize].take().expect("checked above");
-                            queue.push(rem[0]);
-                            self.id_pool.push(rem);
-                        }
-                        _ => {}
+            let mut cur = self.watchers.start(id);
+            while cur != WATCH_NONE {
+                let (slot, next) = self.watchers.take_next(cur);
+                cur = next;
+                let Some(rem) = self.pending[slot as usize].as_mut() else {
+                    continue;
+                };
+                let Some(pos) = rem.iter().position(|x| *x == id) else {
+                    continue;
+                };
+                rem.swap_remove(pos);
+                match rem.len() {
+                    0 => {
+                        let rem = self.pending[slot as usize].take().expect("checked above");
+                        self.id_pool.push(rem);
+                        self.redundant += 1;
                     }
+                    1 => {
+                        let rem = self.pending[slot as usize].take().expect("checked above");
+                        queue.push(rem[0]);
+                        self.id_pool.push(rem);
+                    }
+                    _ => {}
                 }
-                self.watcher_pool.push(watchers);
             }
         }
         self.queue = queue;

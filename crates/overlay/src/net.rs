@@ -55,6 +55,12 @@ use crate::strategy::{
 use crate::transfer::{default_max_ticks, TransferOutcome};
 use crate::SymbolId;
 
+/// The sharded window executor. A child of this module (not of the
+/// crate) so it can reach the engine's private state without widening
+/// any visibility; everything it touches stays module-private.
+#[path = "shard.rs"]
+mod shard;
+
 /// Simulated time in ticks.
 pub type Time = u64;
 
@@ -564,6 +570,21 @@ pub struct OverlayNet<'s> {
     /// Shared zeroed payload for tapped packet-link frames (lengths are
     /// budget-true; packet links do not track payload content).
     tap_payload: Bytes,
+    /// Worker shards for [`OverlayNet::run`]: 1 (the default) runs the
+    /// classic serial loop; > 1 routes eligible runs through the
+    /// conservative-PDES window executor in [`shard`], whose output is
+    /// byte-identical at any shard count. Seeded from `ICD_SHARDS`.
+    shards: usize,
+}
+
+/// Shard count from the `ICD_SHARDS` environment variable (default 1 —
+/// the exact legacy serial engine).
+fn shards_from_env() -> usize {
+    std::env::var("ICD_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// The boxed observer callback behind [`OverlayNet::set_frame_tap`].
@@ -604,7 +625,23 @@ impl<'s> OverlayNet<'s> {
             frame_tap: None,
             tap_frame: Vec::new(),
             tap_payload: Bytes::new(),
+            shards: shards_from_env(),
         }
+    }
+
+    /// Sets the number of worker shards [`OverlayNet::run`] may use.
+    /// `1` is the exact legacy serial engine; higher counts shard the
+    /// run across threads with byte-identical output (see the module
+    /// docs of the shard executor and the README "Sharded engine"
+    /// section). Values are clamped to at least 1.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured worker-shard count (see [`OverlayNet::set_shards`]).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Replaces the digest sizing used for engine-built handshakes.
@@ -1161,6 +1198,9 @@ impl<'s> OverlayNet<'s> {
     /// the calendar pops due links by `(time, link index)`, which is
     /// exactly the order the legacy per-tick link scan visited them.
     pub fn run(&mut self, limit: RunLimit) -> StopReason {
+        if self.shards > 1 && self.sharded_eligible() {
+            return shard::run_sharded(self, limit);
+        }
         if self.observers_complete() {
             return StopReason::Completed;
         }
@@ -1223,6 +1263,24 @@ impl<'s> OverlayNet<'s> {
                 }
             }
         }
+    }
+
+    /// Whether this net can run on the sharded executor: every link —
+    /// dead ones included, since their in-flight events survive in the
+    /// queue — must be a plain packet link (`Strategy`/`Fountain`
+    /// pumps are self-contained and `Send`; session machines and boxed
+    /// custom sources are neither), and no frame tap may be installed
+    /// (taps observe sends in global order on the caller's thread).
+    /// Ineligible nets silently take the serial path, which is always
+    /// byte-identical anyway.
+    fn sharded_eligible(&self) -> bool {
+        self.frame_tap.is_none()
+            && self.links.iter().all(|l| {
+                matches!(
+                    l.source,
+                    LinkSource::Strategy(_) | LinkSource::Fountain(_)
+                )
+            })
     }
 
     fn process_send(&mut self, l: LinkId) -> Option<StopReason> {

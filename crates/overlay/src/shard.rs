@@ -1,0 +1,942 @@
+//! The sharded window executor: one `OverlayNet::run` spread across
+//! worker threads with **byte-identical** output at any shard count.
+//!
+//! # Why destination partitioning makes this exact
+//!
+//! A link's send path never reads its *source* node: the sender pump
+//! snapshotted the source inventory at connect time (§6.1's freeze),
+//! and loss draws come from a link-private RNG. So a link's entire
+//! life — send opportunities, loss, delivery — touches only link-local
+//! state plus the **destination** node. Assigning every link to the
+//! shard that owns its destination node therefore eliminates all
+//! cross-shard writes; what remains shared is only the *global order*
+//! in which effects must appear.
+//!
+//! # The order, reified
+//!
+//! The serial engine executes, per tick `t`: queued arrivals in `seq`
+//! order, then link sends in link-index order. Sequence numbers are
+//! assigned when arrivals are scheduled, i.e. in `(send tick, link)`
+//! order — so the serial order of *every* event is captured by a
+//! shard-independent key, [`GKey`]:
+//!
+//! * old queued arrival: `(t, arrival, old, seq, 0)` — its seq was
+//!   assigned in an earlier run or window, before any new one;
+//! * freshly staged arrival: `(t, arrival, staged, send_tick, link)` —
+//!   exactly the order its seq *will be* assigned in;
+//! * send: `(t, send, ·, t, link)` — sends follow arrivals within a
+//!   tick, in link order; a zero-latency delivery shares its send's key.
+//!
+//! # Windows: stage, agree, commit
+//!
+//! Shards advance in bounded synchronized windows of [`WINDOW`] ticks
+//! (the conservative-lookahead epoch: nothing staged in a window can
+//! affect another shard before the next barrier, because sends read no
+//! remote state and cross-window arrivals are exchanged at the
+//! barrier). Each window runs:
+//!
+//! 1. **Generate** (parallel): each shard pumps its calendar through
+//!    `[t0, t1)`, recording every send as a [`SendRec`] (link counters
+//!    and pump/RNG state advance optimistically; `prev_next_send`
+//!    makes the cadence reversible), and collects the window's
+//!    delivery [`Item`]s — old queue events plus staged arrivals
+//!    landing inside the window.
+//! 2. **Probe completion** (parallel, same pass): items sort by
+//!    `(node, key)`; for every *observer* node still incomplete at the
+//!    window start, deliveries apply in key order until the node
+//!    completes, yielding its completion key `k_n`. These effects are
+//!    final: `k_n ≤ K` always (see below), so nothing applied here is
+//!    ever rolled back.
+//! 3. **Agree on the cut `K`** (main thread): the serial engine stops
+//!    at the first event completing *all* observers — that is
+//!    `K = max(k_n)` if every incomplete observer found a finite
+//!    `k_n`, else `K = ∞` (no completion this window). Then sequence
+//!    numbers are assigned by a deterministic cross-shard merge of
+//!    committed sends in `(send tick, link)` order — reproducing the
+//!    serial assignment exactly — and arrivals that land beyond the
+//!    window (or beyond `K`) become ordinary queue events.
+//! 4. **Commit** (parallel): remaining items with key ≤ `K` apply;
+//!    send records with key > `K` roll back (counters, cadence,
+//!    exhaustion — the serial engine never executed them). Committed
+//!    events are counted and the clock advances to the last committed
+//!    tick, exactly as the serial loop would have left it.
+//!
+//! The result is provably independent of both the shard count and the
+//! window width: the partition affects only which thread computes an
+//! effect, never its key, and every committed effect is ≤ `K` while
+//! every rolled-back one is > `K`.
+//!
+//! Pump internals (candidate shuffles, loss RNG positions) may advance
+//! past `K` in a window that ends `Completed`; this is unobservable —
+//! no caller resumes a completed net, and every *counter* is restored.
+//!
+//! # Memory layout
+//!
+//! Extraction doubles as the hot/cold split: the per-tick hot fields
+//! (pump, cadence, loss RNG, counters) move into dense per-shard
+//! [`SLink`] arrays walked by the window loop, while cold
+//! configuration (endpoints, handshake accounting, summary choice)
+//! stays behind in `LinkState`. Symbol ids staged during a window live
+//! in one per-shard arena, not per-packet allocations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use icd_util::partition::{balanced_ranges, owner_of};
+use icd_util::rng::{Rng64, Xoshiro256StarStar};
+use icd_wire::{encoded_symbol_frame_len, recoded_symbol_frame_len};
+
+use super::{
+    Event, EventKind, Link, LinkId, LinkSource, NodeState, OverlayNet, RunLimit, StopReason, Time,
+};
+use crate::strategy::{FullSender, PacketScratch, Sender};
+use crate::SymbolId;
+
+/// Window width in ticks — the synchronized epoch length. Output is
+/// provably independent of this value (every committed effect is keyed
+/// globally); it only trades barrier frequency against rollback width.
+const WINDOW: Time = 64;
+
+/// Total order over everything the serial engine does. Derived `Ord`
+/// compares fields lexicographically, which is exactly the serial
+/// execution order (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct GKey {
+    time: Time,
+    /// 0 = arrival, 1 = send: arrivals land before sends each tick.
+    phase: u8,
+    /// Among arrivals: 0 = old queue event (ordered by its existing
+    /// seq), 1 = staged this window (ordered by the seq it will get).
+    /// Old seqs always precede new ones, so `old < staged` at a tick.
+    tag: u8,
+    a: u64,
+    b: u64,
+}
+
+/// Sentinel: "no completion in this window" — above every real key.
+const KEY_MAX: GKey = GKey {
+    time: Time::MAX,
+    phase: u8::MAX,
+    tag: u8::MAX,
+    a: u64::MAX,
+    b: u64::MAX,
+};
+
+fn send_key(time: Time, gid: u32) -> GKey {
+    GKey {
+        time,
+        phase: 1,
+        tag: 0,
+        a: time,
+        b: u64::from(gid),
+    }
+}
+
+fn old_key(time: Time, seq: u64) -> GKey {
+    GKey {
+        time,
+        phase: 0,
+        tag: 0,
+        a: seq,
+        b: 0,
+    }
+}
+
+fn staged_key(arrival: Time, send_tick: Time, gid: u32) -> GKey {
+    GKey {
+        time: arrival,
+        phase: 0,
+        tag: 1,
+        a: send_tick,
+        b: u64::from(gid),
+    }
+}
+
+/// A queued arrival carried between windows (and to/from the global
+/// event queue), with its already-assigned sequence number.
+#[derive(Debug)]
+struct QEvent {
+    time: Time,
+    seq: u64,
+    gid: u32,
+    recoded: bool,
+    ids: Vec<SymbolId>,
+}
+
+impl PartialEq for QEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for QEvent {}
+impl PartialOrd for QEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A link's pump, restricted to the two self-contained (`Send`) kinds
+/// the sharded path accepts.
+// Deliberately inline despite the variant size gap: pumps live in the
+// per-shard hot `SLink` array and are hit on every send; boxing the
+// common `Sender` variant would add a pointer chase to the hottest loop
+// to save memory on the rare fountain-only nets.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum SPump {
+    Strategy(Sender),
+    Fountain(FullSender),
+}
+
+impl SPump {
+    fn next_packet_into(&mut self, scratch: &mut PacketScratch) -> bool {
+        match self {
+            SPump::Strategy(s) => s.next_packet_into(scratch),
+            SPump::Fountain(f) => {
+                f.next_packet_into(scratch);
+                true
+            }
+        }
+    }
+}
+
+/// Hot per-link state, extracted from `LinkState` for the duration of
+/// the run: everything the window loop touches per tick, dense and
+/// shard-owned. Cold config stays in the `LinkState` shell.
+#[derive(Debug)]
+struct SLink {
+    gid: u32,
+    to: u32,
+    pump: SPump,
+    params: Link,
+    loss_rng: Xoshiro256StarStar,
+    next_send: Time,
+    exhausted: bool,
+    packets_sent: u64,
+    packets_lost: u64,
+    packets_delivered: u64,
+    bytes_sent: u64,
+    bytes_delivered: u64,
+}
+
+/// One send opportunity executed during generation — the unit of
+/// optimistic work, carrying everything needed to commit it (assign
+/// its arrival a seq) or roll it back (restore the cadence/counters).
+#[derive(Debug)]
+struct SendRec {
+    time: Time,
+    gid: u32,
+    /// The link's `next_send` before this opportunity executed.
+    prev_next_send: Time,
+    kind: RecKind,
+}
+
+#[derive(Debug)]
+enum RecKind {
+    Packet {
+        recoded: bool,
+        lost: bool,
+        latency: Time,
+        frame_len: u64,
+        /// Component ids, as a slice of the shard's window arena.
+        ids: Range<u32>,
+    },
+    /// The pump reported exhaustion at this opportunity (the serial
+    /// engine counts the event and retires the link's calendar entry).
+    Exhausted,
+}
+
+impl SendRec {
+    fn key(&self) -> GKey {
+        send_key(self.time, self.gid)
+    }
+}
+
+/// One delivery due inside the current window, keyed for the global
+/// order and sorted by `(node, key)` so each node's deliveries form a
+/// contiguous run.
+#[derive(Debug)]
+struct Item {
+    node: u32,
+    gid: u32,
+    key: GKey,
+    applied: bool,
+    src: ItemSrc,
+}
+
+#[derive(Debug)]
+enum ItemSrc {
+    /// An old queue event. `dead` marks a link torn down while this
+    /// packet was in flight: the serial engine still counts the event
+    /// but delivers nothing.
+    Old {
+        seq: u64,
+        recoded: bool,
+        dead: bool,
+        ids: Vec<SymbolId>,
+    },
+    /// A send staged this window (index into `ShardState::recs`).
+    /// Zero-latency sends deliver at their send key; latent ones at
+    /// their staged-arrival key.
+    Staged { rec: u32 },
+}
+
+/// Everything one worker shard owns: its node range, its links (all
+/// links whose destination falls in the range), their calendar, the
+/// carried-over arrival queue, and per-window scratch.
+#[derive(Debug)]
+struct ShardState {
+    /// Global index of the first node this shard owns.
+    base: u32,
+    links: Vec<SLink>,
+    /// Send calendar: `(next_send, gid)` per live non-exhausted link.
+    /// Popping in `(time, gid)` order is the serial link-scan order.
+    /// Never contains stale entries (topology is frozen during a run).
+    cal: BinaryHeap<Reverse<(Time, u32)>>,
+    /// Arrivals with assigned seqs waiting for their window.
+    queue: BinaryHeap<Reverse<QEvent>>,
+    /// Observers in this shard's range still short of their target.
+    incomplete: usize,
+    // --- per-window scratch ---
+    recs: Vec<SendRec>,
+    arena: Vec<SymbolId>,
+    items: Vec<Item>,
+    /// Completion keys found by the probe pass (one per observer that
+    /// reached its target inside this window).
+    kns: Vec<GKey>,
+    /// Committed-event count and latest committed tick, filled by the
+    /// commit pass.
+    window_events: u64,
+    window_max_time: Time,
+    scratch: PacketScratch,
+}
+
+impl ShardState {
+    /// Earliest tick at which this shard has anything to do. Exact:
+    /// the calendar holds no stale entries.
+    fn next_time(&self) -> Option<Time> {
+        let send = self.cal.peek().map(|&Reverse((t, _))| t);
+        let arrival = self.queue.peek().map(|Reverse(ev)| ev.time);
+        match (send, arrival) {
+            (Some(s), Some(a)) => Some(s.min(a)),
+            (s, a) => s.or(a),
+        }
+    }
+
+    /// Window phases 1+2: pump the calendar through `[.., t1)`, stage
+    /// sends and deliveries, then probe each incomplete observer's
+    /// completion key by applying its deliveries in order.
+    #[allow(clippy::too_many_lines)]
+    fn generate(
+        &mut self,
+        t1: Time,
+        nodes: &mut [NodeState],
+        link_to: &[u32],
+        link_alive: &[bool],
+        link_pos: &[u32],
+        payload_bytes: usize,
+    ) {
+        self.recs.clear();
+        self.arena.clear();
+        self.items.clear();
+        self.kns.clear();
+        self.window_events = 0;
+        self.window_max_time = 0;
+        // Old arrivals due inside the window.
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time >= t1 {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.items.push(Item {
+                node: link_to[ev.gid as usize],
+                gid: ev.gid,
+                key: old_key(ev.time, ev.seq),
+                applied: false,
+                src: ItemSrc::Old {
+                    seq: ev.seq,
+                    recoded: ev.recoded,
+                    dead: !link_alive[ev.gid as usize],
+                    ids: ev.ids,
+                },
+            });
+        }
+        // Send opportunities due inside the window, in (tick, link)
+        // order — the serial scan order, which fixes each link's pump
+        // and loss-RNG draw sequence exactly.
+        while let Some(&Reverse((due, gid))) = self.cal.peek() {
+            if due >= t1 {
+                break;
+            }
+            self.cal.pop();
+            let link = &mut self.links[link_pos[gid as usize] as usize];
+            debug_assert!(!link.exhausted, "calendar holds live links only");
+            if !link.pump.next_packet_into(&mut self.scratch) {
+                link.exhausted = true;
+                self.recs.push(SendRec {
+                    time: due,
+                    gid,
+                    prev_next_send: link.next_send,
+                    kind: RecKind::Exhausted,
+                });
+                continue;
+            }
+            link.packets_sent += 1;
+            let recoded = self.scratch.is_recoded();
+            let frame_len = if recoded {
+                recoded_symbol_frame_len(self.scratch.ids().len(), payload_bytes)
+            } else {
+                encoded_symbol_frame_len(payload_bytes)
+            } as u64;
+            link.bytes_sent += frame_len;
+            let prev_next_send = link.next_send;
+            link.next_send = due + link.params.interval;
+            let latency = link.params.latency;
+            let lost = link.params.loss > 0.0 && {
+                let draw = (link.loss_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                draw < link.params.loss
+            };
+            if lost {
+                link.packets_lost += 1;
+            }
+            self.cal.push(Reverse((link.next_send, gid)));
+            let start = u32::try_from(self.arena.len()).expect("arena overflow");
+            self.arena.extend_from_slice(self.scratch.ids());
+            let end = u32::try_from(self.arena.len()).expect("arena overflow");
+            let rec = u32::try_from(self.recs.len()).expect("rec overflow");
+            let to = link.to;
+            self.recs.push(SendRec {
+                time: due,
+                gid,
+                prev_next_send,
+                kind: RecKind::Packet {
+                    recoded,
+                    lost,
+                    latency,
+                    frame_len,
+                    ids: start..end,
+                },
+            });
+            if !lost {
+                if latency == 0 {
+                    self.items.push(Item {
+                        node: to,
+                        gid,
+                        key: send_key(due, gid),
+                        applied: false,
+                        src: ItemSrc::Staged { rec },
+                    });
+                } else if due + latency < t1 {
+                    self.items.push(Item {
+                        node: to,
+                        gid,
+                        key: staged_key(due + latency, due, gid),
+                        applied: false,
+                        src: ItemSrc::Staged { rec },
+                    });
+                }
+                // Arrivals at or past t1 are committed to the queue at
+                // the barrier, once their seq is assigned.
+            }
+        }
+        self.items.sort_unstable_by_key(|x| (x.node, x.key));
+        // Probe: per incomplete observer, deliveries apply in order
+        // until completion. These effects are final (k_n ≤ K always).
+        let mut i = 0;
+        while i < self.items.len() {
+            let node = self.items[i].node;
+            let mut j = i;
+            while j < self.items.len() && self.items[j].node == node {
+                j += 1;
+            }
+            let idx = (node - self.base) as usize;
+            if nodes[idx].observer && !nodes[idx].receiver.is_complete() {
+                for at in i..j {
+                    self.apply_item(at, nodes, link_pos, payload_bytes);
+                    self.items[at].applied = true;
+                    if nodes[idx].receiver.is_complete() {
+                        self.kns.push(self.items[at].key);
+                        break;
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Window phase 4: apply the remaining deliveries at or below the
+    /// cut, roll back sends beyond it, account committed events, and
+    /// requeue old arrivals beyond the cut.
+    fn commit(
+        &mut self,
+        k: GKey,
+        nodes: &mut [NodeState],
+        link_pos: &[u32],
+        payload_bytes: usize,
+    ) {
+        for i in 0..self.items.len() {
+            if self.items[i].applied || self.items[i].key > k {
+                continue;
+            }
+            self.apply_item(i, nodes, link_pos, payload_bytes);
+            self.items[i].applied = true;
+        }
+        // Roll back uncommitted sends in reverse so a link with several
+        // ends at the cadence of its *earliest* rolled-back opportunity.
+        for rec in self.recs.iter().rev() {
+            if rec.key() <= k {
+                break; // recs are in key order; the rest committed
+            }
+            let link = &mut self.links[link_pos[rec.gid as usize] as usize];
+            link.next_send = rec.prev_next_send;
+            match &rec.kind {
+                RecKind::Packet {
+                    lost, frame_len, ..
+                } => {
+                    link.packets_sent -= 1;
+                    link.bytes_sent -= frame_len;
+                    if *lost {
+                        link.packets_lost -= 1;
+                    }
+                }
+                RecKind::Exhausted => link.exhausted = false,
+            }
+        }
+        // Committed-event accounting: every old arrival and every
+        // latent staged arrival at or below the cut is one event, as is
+        // every send record (exhaustion discoveries included).
+        // Zero-latency deliveries ride their send's event.
+        for item in &self.items {
+            if item.key > k {
+                continue;
+            }
+            let counts = match &item.src {
+                ItemSrc::Old { .. } => true,
+                ItemSrc::Staged { rec } => matches!(
+                    &self.recs[*rec as usize].kind,
+                    RecKind::Packet { latency, .. } if *latency > 0
+                ),
+            };
+            if counts {
+                self.window_events += 1;
+                self.window_max_time = self.window_max_time.max(item.key.time);
+            }
+        }
+        for rec in &self.recs {
+            if rec.key() <= k {
+                self.window_events += 1;
+                self.window_max_time = self.window_max_time.max(rec.time);
+            }
+        }
+        // Old arrivals beyond the cut go back to the queue untouched.
+        for item in self.items.drain(..) {
+            if item.key > k {
+                if let ItemSrc::Old {
+                    seq, recoded, ids, ..
+                } = item.src
+                {
+                    self.queue.push(Reverse(QEvent {
+                        time: item.key.time,
+                        seq,
+                        gid: item.gid,
+                        recoded,
+                        ids,
+                    }));
+                }
+            }
+        }
+        self.incomplete -= self.kns.len();
+    }
+
+    /// Delivers one item: link delivery counters plus the receiver
+    /// ingest path — byte-identical to the serial engine's
+    /// `process_arrival`/`deliver_scratch`.
+    fn apply_item(
+        &mut self,
+        i: usize,
+        nodes: &mut [NodeState],
+        link_pos: &[u32],
+        payload_bytes: usize,
+    ) {
+        let node = (self.items[i].node - self.base) as usize;
+        let gid = self.items[i].gid as usize;
+        match &self.items[i].src {
+            ItemSrc::Old { dead: true, .. } => {} // in-flight on a cut link: gone
+            ItemSrc::Old {
+                recoded, ids, ..
+            } => {
+                let frame_len = if *recoded {
+                    recoded_symbol_frame_len(ids.len(), payload_bytes)
+                } else {
+                    encoded_symbol_frame_len(payload_bytes)
+                } as u64;
+                let link = &mut self.links[link_pos[gid] as usize];
+                link.packets_delivered += 1;
+                link.bytes_delivered += frame_len;
+                let st = &mut nodes[node];
+                if st.receiver.receive_ids(*recoded, ids) > 0 {
+                    st.card = None;
+                }
+            }
+            ItemSrc::Staged { rec } => {
+                let RecKind::Packet {
+                    recoded,
+                    frame_len,
+                    ids,
+                    ..
+                } = &self.recs[*rec as usize].kind
+                else {
+                    unreachable!("staged items reference packet records")
+                };
+                let link = &mut self.links[link_pos[gid] as usize];
+                link.packets_delivered += 1;
+                link.bytes_delivered += frame_len;
+                let ids = &self.arena[ids.start as usize..ids.end as usize];
+                let st = &mut nodes[node];
+                if st.receiver.receive_ids(*recoded, ids) > 0 {
+                    st.card = None;
+                }
+            }
+        }
+    }
+}
+
+/// Splits the node table into the partition's disjoint mutable slices.
+fn split_ranges<'a>(
+    mut nodes: &'a mut [NodeState],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [NodeState]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut offset = 0;
+    for r in ranges {
+        let (head, tail) = nodes.split_at_mut(r.end - offset);
+        out.push(head);
+        nodes = tail;
+        offset = r.end;
+    }
+    out
+}
+
+/// Runs the net on the sharded executor. Caller guarantees
+/// eligibility (packet links only, no frame tap); output — node state,
+/// every counter, the event queue, seq, clock, and stop reason — is
+/// byte-identical to the serial `OverlayNet::run`.
+pub(super) fn run_sharded(net: &mut OverlayNet<'_>, limit: RunLimit) -> StopReason {
+    if net.observers_complete() {
+        return StopReason::Completed;
+    }
+    let shard_count = net.shards.min(net.nodes.len()).max(1);
+
+    // Degree-balanced partition: a node's weight approximates the event
+    // rate its in-links generate. Performance-only — never output.
+    let mut weights = vec![1u64; net.nodes.len()];
+    for link in &net.links {
+        if link.alive && !link.exhausted {
+            weights[link.to.0] += 4096 / link.params.interval.clamp(1, 4096);
+        }
+    }
+    let ranges = balanced_ranges(&weights, shard_count);
+
+    // Side tables (read-only during the run; topology is frozen).
+    let link_to: Vec<u32> = net.links.iter().map(|l| l.to.0 as u32).collect();
+    let link_alive: Vec<bool> = net.links.iter().map(|l| l.alive).collect();
+    let mut link_pos = vec![u32::MAX; net.links.len()];
+
+    // Extract hot link state into shard-owned arrays (dead links keep
+    // their shells: they can only be the target of in-flight events,
+    // which deliver nothing).
+    let mut shards: Vec<ShardState> = ranges
+        .iter()
+        .map(|r| ShardState {
+            base: r.start as u32,
+            links: Vec::new(),
+            cal: BinaryHeap::new(),
+            queue: BinaryHeap::new(),
+            incomplete: 0,
+            recs: Vec::new(),
+            arena: Vec::new(),
+            items: Vec::new(),
+            kns: Vec::new(),
+            window_events: 0,
+            window_max_time: 0,
+            scratch: PacketScratch::new(),
+        })
+        .collect();
+    for (gid, link) in net.links.iter_mut().enumerate() {
+        if !link.alive {
+            continue;
+        }
+        let owner = owner_of(&ranges, link.to.0);
+        let pump = match std::mem::replace(
+            &mut link.source,
+            LinkSource::Fountain(FullSender::new(0)),
+        ) {
+            LinkSource::Strategy(s) => SPump::Strategy(s),
+            LinkSource::Fountain(f) => SPump::Fountain(f),
+            _ => unreachable!("gated: sharded nets hold packet links only"),
+        };
+        let shard = &mut shards[owner];
+        link_pos[gid] = u32::try_from(shard.links.len()).expect("shard link overflow");
+        if !link.exhausted {
+            shard.cal.push(Reverse((link.next_send, gid as u32)));
+        }
+        shard.links.push(SLink {
+            gid: gid as u32,
+            to: link.to.0 as u32,
+            pump,
+            params: link.params,
+            loss_rng: link.loss_rng.clone(),
+            next_send: link.next_send,
+            exhausted: link.exhausted,
+            packets_sent: link.packets_sent,
+            packets_lost: link.packets_lost,
+            packets_delivered: link.packets_delivered,
+            bytes_sent: link.bytes_sent,
+            bytes_delivered: link.bytes_delivered,
+        });
+    }
+    // The global send calendar is rebuilt at exit (one live entry per
+    // live link — the engine's standing invariant); drop it now.
+    net.send_queue.clear();
+    // Route pending arrivals to their destination shards.
+    while let Some(Reverse(ev)) = net.queue.pop() {
+        let Event {
+            time,
+            seq,
+            link,
+            kind,
+        } = ev;
+        let EventKind::Packet { recoded, ids } = kind else {
+            unreachable!("gated: no session links, so no frame events")
+        };
+        let owner = owner_of(&ranges, link_to[link.0] as usize);
+        shards[owner].queue.push(Reverse(QEvent {
+            time,
+            seq,
+            gid: link.0 as u32,
+            recoded,
+            ids,
+        }));
+    }
+    for (shard, r) in shards.iter_mut().zip(&ranges) {
+        shard.incomplete = net.nodes[r.clone()]
+            .iter()
+            .filter(|n| n.observer && !n.receiver.is_complete())
+            .count();
+    }
+
+    let mut nodes = std::mem::take(&mut net.nodes);
+    let payload_bytes = net.payload_bytes;
+    let mut now = net.now;
+    let mut seq = net.seq;
+    let mut events = net.events_processed;
+    let mut incomplete = net.incomplete_observers;
+
+    let stop = loop {
+        let Some(t0) = shards.iter().filter_map(ShardState::next_time).min() else {
+            // Permanently quiescent — the serial engine's stall, with
+            // the same empty-roster clock special case.
+            if now == 0 {
+                now = 1;
+            }
+            break StopReason::Stalled;
+        };
+        debug_assert!(t0 > now, "cadence/queue must move forward");
+        if let Some(stop) = limit.stop_before {
+            if t0 >= stop {
+                break StopReason::Paused;
+            }
+        }
+        if t0 > limit.max_ticks {
+            now = limit.max_ticks.max(now);
+            break StopReason::MaxTicks;
+        }
+        let mut t1 = t0.saturating_add(WINDOW);
+        if let Some(stop) = limit.stop_before {
+            t1 = t1.min(stop);
+        }
+        t1 = t1.min(limit.max_ticks.saturating_add(1));
+
+        // Phases 1+2: generate and probe, one worker per shard.
+        std::thread::scope(|scope| {
+            let link_to = &link_to;
+            let link_alive = &link_alive;
+            let link_pos = &link_pos;
+            for (shard, slice) in shards.iter_mut().zip(split_ranges(&mut nodes, &ranges)) {
+                scope.spawn(move || {
+                    shard.generate(t1, slice, link_to, link_alive, link_pos, payload_bytes);
+                });
+            }
+        });
+
+        // Phase 3 (main thread): agree on the cut.
+        let total_incomplete: usize = shards.iter().map(|s| s.incomplete).sum();
+        debug_assert_eq!(total_incomplete, incomplete, "observer accounting drift");
+        let finite: usize = shards.iter().map(|s| s.kns.len()).sum();
+        let k = if total_incomplete > 0 && finite == total_incomplete {
+            shards
+                .iter()
+                .flat_map(|s| s.kns.iter().copied())
+                .max()
+                .expect("finite > 0")
+        } else {
+            KEY_MAX
+        };
+        merge_and_assign_seqs(&mut shards, t1, k, &mut seq);
+
+        // Phase 4: commit, one worker per shard.
+        std::thread::scope(|scope| {
+            let link_pos = &link_pos;
+            for (shard, slice) in shards.iter_mut().zip(split_ranges(&mut nodes, &ranges)) {
+                scope.spawn(move || {
+                    shard.commit(k, slice, link_pos, payload_bytes);
+                });
+            }
+        });
+
+        events += shards.iter().map(|s| s.window_events).sum::<u64>();
+        incomplete -= finite;
+        if k < KEY_MAX {
+            now = k.time;
+            break StopReason::Completed;
+        }
+        now = now.max(
+            shards
+                .iter()
+                .map(|s| s.window_max_time)
+                .max()
+                .unwrap_or(now),
+        );
+    };
+
+    // Exit merge: restore node/link ownership, rebuild the global
+    // queues, and write the scalars back. Byte-identical to the state
+    // the serial engine would have left.
+    net.nodes = nodes;
+    for shard in &mut shards {
+        for sl in shard.links.drain(..) {
+            let link = &mut net.links[sl.gid as usize];
+            link.source = match sl.pump {
+                SPump::Strategy(s) => LinkSource::Strategy(s),
+                SPump::Fountain(f) => LinkSource::Fountain(f),
+            };
+            link.loss_rng = sl.loss_rng;
+            link.next_send = sl.next_send;
+            link.exhausted = sl.exhausted;
+            link.packets_sent = sl.packets_sent;
+            link.packets_lost = sl.packets_lost;
+            link.packets_delivered = sl.packets_delivered;
+            link.bytes_sent = sl.bytes_sent;
+            link.bytes_delivered = sl.bytes_delivered;
+        }
+        while let Some(Reverse(ev)) = shard.queue.pop() {
+            net.queue.push(Reverse(Event {
+                time: ev.time,
+                seq: ev.seq,
+                link: LinkId(ev.gid as usize),
+                kind: EventKind::Packet {
+                    recoded: ev.recoded,
+                    ids: ev.ids,
+                },
+            }));
+        }
+    }
+    for (gid, link) in net.links.iter().enumerate() {
+        if link.alive && !link.exhausted {
+            net.send_queue.push(Reverse((link.next_send, gid as u32)));
+        }
+    }
+    net.now = now;
+    net.seq = seq;
+    net.events_processed = events;
+    net.incomplete_observers = incomplete;
+    stop
+}
+
+/// The deterministic cross-shard merge (phase 3): walks every
+/// committed latent send in `(send tick, link)` order — each shard's
+/// records are already in that order, so this is a k-way merge — and
+/// assigns sequence numbers exactly as the serial engine's
+/// `schedule_arrival` would have. Arrivals landing inside the window
+/// at or below the cut were already delivered as staged items and only
+/// consume their seq; the rest become ordinary queue events.
+fn merge_and_assign_seqs(shards: &mut [ShardState], t1: Time, k: GKey, seq: &mut u64) {
+    // Per shard: indices of committed latent sends, in order.
+    let eligible: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|s| {
+            s.recs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    r.key() <= k
+                        && matches!(
+                            r.kind,
+                            RecKind::Packet {
+                                lost: false,
+                                latency: 1..,
+                                ..
+                            }
+                        )
+                })
+                .map(|(i, _)| u32::try_from(i).expect("rec overflow"))
+                .collect()
+        })
+        .collect();
+    let mut cursors = vec![0usize; shards.len()];
+    // (shard, rec index, seq) for arrivals that must requeue.
+    let mut requeue: Vec<(usize, u32, u64)> = Vec::new();
+    loop {
+        let mut best: Option<(Time, u32, usize)> = None;
+        for (s, list) in eligible.iter().enumerate() {
+            if let Some(&ri) = list.get(cursors[s]) {
+                let rec = &shards[s].recs[ri as usize];
+                let cand = (rec.time, rec.gid, s);
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let Some((_, _, s)) = best else { break };
+        let ri = eligible[s][cursors[s]];
+        cursors[s] += 1;
+        let assigned = *seq;
+        *seq += 1;
+        let rec = &shards[s].recs[ri as usize];
+        let RecKind::Packet { latency, .. } = rec.kind else {
+            unreachable!("eligible records are packets")
+        };
+        let arrival = rec.time + latency;
+        let delivered_in_window =
+            arrival < t1 && staged_key(arrival, rec.time, rec.gid) <= k;
+        if !delivered_in_window {
+            requeue.push((s, ri, assigned));
+        }
+    }
+    for (s, ri, assigned) in requeue {
+        let shard = &mut shards[s];
+        let rec = &shard.recs[ri as usize];
+        let RecKind::Packet {
+            recoded,
+            latency,
+            ref ids,
+            ..
+        } = rec.kind
+        else {
+            unreachable!("eligible records are packets")
+        };
+        shard.queue.push(Reverse(QEvent {
+            time: rec.time + latency,
+            seq: assigned,
+            gid: rec.gid,
+            recoded,
+            ids: shard.arena[ids.start as usize..ids.end as usize].to_vec(),
+        }));
+    }
+}

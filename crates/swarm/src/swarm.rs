@@ -30,6 +30,7 @@ use icd_overlay::scenario::ScenarioParams;
 use icd_overlay::strategy::StrategyKind;
 use icd_overlay::SymbolId;
 use icd_summary::SummaryId;
+use icd_util::idset::{IdSet, IdUniverse};
 use icd_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 
 use crate::faults::{FaultConfig, FaultEvent, FaultPlan};
@@ -301,6 +302,11 @@ pub struct Swarm {
     net: OverlayNet<'static>,
     peers: Vec<Peer>,
     pool: Vec<SymbolId>,
+    /// Reusable inventory-sampling bitmap over the pool as a shared
+    /// sorted universe: dedup costs `pool.len()` *bits* of scratch,
+    /// reused across every join, versus 8+ hashed bytes per sampled id
+    /// in the hash set it replaced.
+    inventory_scratch: IdSet,
     target: usize,
     schedule: Vec<(Time, SwarmEvent)>,
     next_event: usize,
@@ -389,6 +395,7 @@ impl Swarm {
             });
         }
 
+        let inventory_scratch = IdUniverse::new(pool.clone()).empty_set();
         let mut swarm = Self {
             net: OverlayNet::new(seed),
             peers: Vec::with_capacity(cfg.peers),
@@ -410,6 +417,7 @@ impl Swarm {
             faults_applied: 0,
             links_created: 0,
             pool,
+            inventory_scratch,
             target,
             cfg,
         };
@@ -434,6 +442,15 @@ impl Swarm {
     #[must_use]
     pub fn roster(&self) -> usize {
         self.peers.len()
+    }
+
+    /// Pins the engine's worker-shard count for this swarm's runs,
+    /// overriding the `ICD_SHARDS` environment default the underlying
+    /// [`OverlayNet`] was constructed with. Outcomes are byte-identical
+    /// at every shard count; the knob only changes how the event loop
+    /// is executed.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.net.set_shards(shards);
     }
 
     /// Adds a peer to the roster: full pool for seeds, otherwise the
@@ -475,10 +492,13 @@ impl Swarm {
                 }
             }
         }
-        let mut have: icd_util::hash::FastHashSet<SymbolId> = set.iter().copied().collect();
+        self.inventory_scratch.clear();
+        for &id in &set {
+            self.inventory_scratch.insert(id);
+        }
         for idx in self.rng.sample_distinct(self.pool.len(), want) {
             let id = self.pool[idx];
-            if have.insert(id) {
+            if self.inventory_scratch.insert(id) {
                 set.push(id);
             }
         }

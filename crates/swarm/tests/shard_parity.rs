@@ -1,0 +1,117 @@
+//! Shard-count parity: the sharded discrete-event core is an *executor*
+//! optimization, not a model change, so every observable outcome must be
+//! byte-identical at any worker-shard count. This suite pins the three
+//! headline scenarios — the mesh preset, the churning power-law swarm,
+//! and the fault-injected swarm — at shard counts {1, 2, 8}, comparing
+//! the full outcome structs (events, ticks, wire-byte counters, fault
+//! counters, stop reasons) field for field. `shards = 1` is exactly the
+//! legacy serial path, so these tests also prove the windowed parallel
+//! path against the original engine, not just against itself.
+
+use icd_overlay::net::{run_mesh_download, Link, MeshOutcome};
+use icd_overlay::scenario::ScenarioParams;
+use icd_swarm::{ChurnConfig, FaultConfig, Swarm, SwarmConfig, SwarmOutcome, TopologyKind};
+
+const SEED: u64 = 0x1CD_BA5E;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The `perf_baseline` swarm geometry, scaled down for test time:
+/// power-law topology, heterogeneous link rates, ≥10% churn.
+fn churny_config(peers: usize) -> SwarmConfig {
+    let profiles: Vec<Link> = [1u64, 2, 4, 8, 16].iter().map(|&f| Link::slower(f)).collect();
+    let mut cfg = SwarmConfig::new(peers, 48, TopologyKind::PowerLaw { m: 2 })
+        .with_link_profiles(profiles)
+        .with_churn(ChurnConfig {
+            leave_fraction: 0.10,
+            downtime: 60,
+            window: (5, 160),
+            joins: (peers / 100).max(1),
+            rewires: (peers / 50).max(1),
+        });
+    cfg.refresh_interval = 40;
+    cfg
+}
+
+fn outcome_at(shards: usize, cfg: &SwarmConfig, seed: u64) -> SwarmOutcome {
+    let mut swarm = Swarm::new(cfg.clone(), seed);
+    swarm.set_shards(shards);
+    swarm.run()
+}
+
+/// Asserts outcome equality with a per-field diagnostic first, so a
+/// divergence names the counter that moved instead of dumping two
+/// whole structs.
+fn assert_identical(base: &SwarmOutcome, got: &SwarmOutcome, shards: usize) {
+    assert_eq!(base.events, got.events, "events diverged at {shards} shards");
+    assert_eq!(base.ticks, got.ticks, "ticks diverged at {shards} shards");
+    assert_eq!(
+        base.wire_bytes, got.wire_bytes,
+        "wire_bytes diverged at {shards} shards"
+    );
+    assert_eq!(
+        base.wasted_wire_bytes, got.wasted_wire_bytes,
+        "wasted_wire_bytes diverged at {shards} shards"
+    );
+    assert_eq!(
+        base.faults_applied, got.faults_applied,
+        "faults_applied diverged at {shards} shards"
+    );
+    assert_eq!(base, got, "full outcome diverged at {shards} shards");
+}
+
+#[test]
+fn swarm_outcome_identical_at_any_shard_count() {
+    let cfg = churny_config(200);
+    let base = outcome_at(1, &cfg, SEED ^ 13);
+    assert!(base.all_complete(), "baseline must complete: {:?}", base.stop);
+    assert!(base.wire_bytes > 0 && base.leaves > 0);
+    for shards in SHARD_COUNTS {
+        assert_identical(&base, &outcome_at(shards, &cfg, SEED ^ 13), shards);
+    }
+}
+
+#[test]
+fn faulty_swarm_outcome_identical_at_any_shard_count() {
+    let cfg = churny_config(200).with_faults(FaultConfig::link_cuts(10, (5, 160)));
+    let base = outcome_at(1, &cfg, SEED ^ 14);
+    assert!(base.all_complete(), "baseline must complete: {:?}", base.stop);
+    assert!(
+        base.faults_applied > 0,
+        "fault schedule must actually fire for the parity to mean anything"
+    );
+    for shards in SHARD_COUNTS {
+        assert_identical(&base, &outcome_at(shards, &cfg, SEED ^ 14), shards);
+    }
+}
+
+/// The mesh preset builds its net internally, so the shard count comes
+/// from `ICD_SHARDS` at construction. Swarm runs elsewhere in this
+/// binary pin their count explicitly via `Swarm::set_shards`, so the
+/// env round-trip here cannot leak into them.
+#[test]
+fn mesh_outcome_identical_at_any_shard_count() {
+    let params = ScenarioParams::compact(1_500, 0xBEAD);
+    let lossy = Link {
+        loss: 0.05,
+        ..Link::default()
+    };
+    let run = || run_mesh_download(&params, 3, 0.2, &[Link::default(), lossy], true, 0x31337);
+
+    let at = |shards: usize| -> MeshOutcome {
+        std::env::set_var("ICD_SHARDS", shards.to_string());
+        let out = run();
+        std::env::remove_var("ICD_SHARDS");
+        out
+    };
+    let base = at(1);
+    assert!(base.transfer.completed, "baseline mesh must complete");
+    assert!(base.wire_bytes > 0 && base.wasted_wire_bytes > 0);
+    for shards in SHARD_COUNTS {
+        let got = at(shards);
+        assert_eq!(
+            base.wire_bytes, got.wire_bytes,
+            "wire_bytes diverged at {shards} shards"
+        );
+        assert_eq!(base, got, "mesh outcome diverged at {shards} shards");
+    }
+}

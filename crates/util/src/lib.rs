@@ -18,6 +18,12 @@
 //!   experiment harness.
 //! * [`search`] — interpolation search over sorted keys (the lookup
 //!   structure the paper suggests for random-sample membership probes).
+//! * [`partition`] — deterministic weight-balanced contiguous
+//!   partitioning, used by the sharded discrete-event engine to split a
+//!   node table across worker shards.
+//! * [`idset`] — compressed working-set membership: a rank bitmap over a
+//!   shared sorted symbol universe, so per-peer inventory sets cost bits
+//!   instead of hash-table entries at swarm scale.
 //! * [`symbol`] — word-aligned payload buffers ([`symbol::SymbolBuf`])
 //!   and the free-list pool ([`symbol::SymbolPool`]) that make the
 //!   encode/decode/recode hot path allocation-free at steady state.
@@ -31,7 +37,9 @@
 
 pub mod bitvec;
 pub mod hash;
+pub mod idset;
 pub mod modp;
+pub mod partition;
 pub mod rng;
 pub mod search;
 pub mod stats;
@@ -39,5 +47,7 @@ pub mod symbol;
 
 pub use bitvec::BitVec;
 pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use idset::{IdSet, IdUniverse};
+pub use partition::{balanced_ranges, owner_of};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 pub use symbol::{PoolStats, SymbolBuf, SymbolPool};

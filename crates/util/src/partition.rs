@@ -1,0 +1,176 @@
+//! Deterministic weight-balanced partitioning.
+//!
+//! The sharded discrete-event engine splits a node table into contiguous
+//! index ranges, one per worker shard. Ranges (rather than arbitrary
+//! subsets) keep the partition representable as cut points, let the
+//! executor hand each worker a disjoint `&mut` slice of the node table
+//! with no index remapping, and make the assignment a pure function of
+//! the weight vector — the same inputs always produce the same cuts, so
+//! a partitioned run is exactly reproducible.
+//!
+//! Balance quality: each range's weight is within one item of the ideal
+//! `total / parts` prefix boundary (greedy prefix cuts). For the degree
+//! weights the overlay engine feeds in, that is the classic
+//! profile-guided chunking bound — good enough that barrier time is set
+//! by event variance, not by the partition.
+
+use std::ops::Range;
+
+/// Splits `0..weights.len()` into `parts` contiguous ranges whose weight
+/// sums track the ideal prefix boundaries `k·total/parts`.
+///
+/// Guarantees, all deterministic in the inputs:
+/// * exactly `parts` ranges, in order, covering `0..weights.len()`;
+/// * every range is non-empty while items remain (a range is empty only
+///   when there are fewer items than parts left to fill);
+/// * each cut is placed at the first index at or past its ideal
+///   boundary, so no range overshoots the ideal by more than the weight
+///   of its last item.
+///
+/// Zero weights are fine (items that cost nothing to simulate); an
+/// all-zero vector degrades to an even item-count split.
+///
+/// # Panics
+/// Panics if `parts == 0`.
+#[must_use]
+pub fn balanced_ranges(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts >= 1, "need at least one part");
+    let n = weights.len();
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    let mut out = Vec::with_capacity(parts);
+    let mut cum: u128 = 0;
+    let mut idx = 0usize;
+    for k in 0..parts {
+        let start = idx;
+        // Leave at least one item for each part still to be filled.
+        let cap = n.saturating_sub(parts - 1 - k);
+        let target = if total == 0 {
+            // Even item-count split when weights carry no signal.
+            (n as u128 * (k as u128 + 1)).div_ceil(parts as u128)
+        } else {
+            total * (k as u128 + 1) / parts as u128
+        };
+        while idx < cap {
+            let reached = if total == 0 {
+                idx as u128 >= target
+            } else {
+                cum >= target
+            };
+            if idx > start && reached {
+                break;
+            }
+            cum += u128::from(weights[idx]);
+            idx += 1;
+        }
+        out.push(start..idx);
+    }
+    // The last range absorbs any tail the cap logic reserved in vain.
+    if idx < n {
+        let last = out.last_mut().expect("parts >= 1");
+        last.end = n;
+    }
+    out
+}
+
+/// The shard index owning `item` under `ranges` (as returned by
+/// [`balanced_ranges`]): binary search over the cut points.
+///
+/// # Panics
+/// Panics if `item` is outside every range.
+#[must_use]
+pub fn owner_of(ranges: &[Range<usize>], item: usize) -> usize {
+    let shard = ranges.partition_point(|r| r.end <= item);
+    assert!(
+        shard < ranges.len() && ranges[shard].contains(&item),
+        "item {item} outside the partition"
+    );
+    shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+        let ranges = balanced_ranges(weights, parts);
+        assert_eq!(ranges.len(), parts);
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next, "ranges must tile contiguously");
+            next = r.end;
+        }
+        assert_eq!(next, weights.len(), "ranges must cover every item");
+        ranges
+    }
+
+    #[test]
+    fn covers_and_balances_uniform_weights() {
+        let weights = vec![1u64; 100];
+        let ranges = check_cover(&weights, 8);
+        for r in &ranges {
+            let w = r.len();
+            assert!((12..=13).contains(&w), "range {r:?} weight {w}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_balance_by_weight_not_count() {
+        // One heavy item dominates: it should get (almost) a part to
+        // itself while light items pack together.
+        let mut weights = vec![1u64; 64];
+        weights[0] = 1000;
+        let ranges = check_cover(&weights, 4);
+        assert_eq!(ranges[0], 0..1, "heavy head isolated");
+        let light: usize = ranges[1..].iter().map(std::ops::Range::len).sum();
+        assert_eq!(light, 63);
+    }
+
+    #[test]
+    fn more_parts_than_items_leaves_empty_tails() {
+        let ranges = check_cover(&[5, 5], 4);
+        let nonempty = ranges.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn zero_weights_split_evenly() {
+        let ranges = check_cover(&[0u64; 10], 3);
+        let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let ranges = check_cover(&[], 3);
+        assert!(ranges.iter().all(std::ops::Range::is_empty));
+    }
+
+    #[test]
+    fn single_part_takes_everything() {
+        let ranges = check_cover(&[3, 1, 4, 1, 5], 1);
+        assert_eq!(ranges[0], 0..5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let weights: Vec<u64> = (0..257).map(|i| (i * 37) % 101).collect();
+        assert_eq!(balanced_ranges(&weights, 7), balanced_ranges(&weights, 7));
+    }
+
+    #[test]
+    fn owner_lookup_matches_ranges() {
+        let weights: Vec<u64> = (0..50).map(|i| i % 5 + 1).collect();
+        let ranges = check_cover(&weights, 6);
+        for item in 0..50 {
+            let s = owner_of(&ranges, item);
+            assert!(ranges[s].contains(&item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_rejected() {
+        let _ = balanced_ranges(&[1], 0);
+    }
+}

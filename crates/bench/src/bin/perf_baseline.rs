@@ -32,12 +32,30 @@
 //!   scheduled link cut per twenty peers), so regressions in fault
 //!   execution are visible separately from the fault-free number.
 //!
+//! * **traced swarm** — the churned-swarm probe with a structured trace
+//!   recorder installed, and the derived `trace_overhead_pct` — the
+//!   enabled-mode cost of the observability plane. Disabled-mode cost
+//!   is covered by the delta table below (no recorder is installed in
+//!   any other probe).
+//! * **shard phases** — wall-clock share of the sharded executor's
+//!   generate/merge/commit scopes and the barrier-wait residue, from a
+//!   profiler installed on the 8-shard run.
+//!
+//! If an output file already exists, its metrics are read *before*
+//! overwriting and a per-probe `DELTA <name> <old> -> <new> (±x.x%)`
+//! table is printed — the before/after diff every PR is accountable to,
+//! without needing a stashed copy of the old JSON. The written JSON
+//! gains a `meta` block recording shards, worker threads, and the scale
+//! knobs the run used.
+//!
 //! `--quick` (or `ICD_QUICK=1`) shrinks the geometry for CI smoke runs;
 //! `--out PATH` overrides the output path (default
 //! `./BENCH_symbols.json`). All probes are pure functions of fixed
 //! seeds; only the measured times vary between machines.
 
 use std::time::Instant;
+
+use icd_obs::{PhaseProfile, TraceBuf};
 
 use icd_fountain::{
     DecodeStatus, Decoder, EncodedSymbol, RecodeBuffer, RecodePolicy, RecodeScratch, Recoder,
@@ -67,6 +85,10 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_symbols.json".to_string());
 
+    // Read the previous baseline (if any) before it is overwritten, so
+    // every run prints its own before/after delta table.
+    let previous = std::fs::read_to_string(&out_path).ok();
+
     let mut probes = Vec::new();
     probes.push(decode_probe(quick));
     let (generate, substitute) = recode_probes(quick);
@@ -76,16 +98,38 @@ fn main() {
     probes.push(minwise_probe(quick));
     probes.push(sim_probe(quick));
     probes.push(net_events_probe(quick));
-    probes.push(swarm_events_probe(quick));
+    let swarm = swarm_events_probe(quick);
+    let untraced = swarm.value;
+    probes.push(swarm);
     probes.push(faulty_swarm_events_probe(quick));
-    probes.push(swarm_sharded_events_probe(quick));
+    let (traced, overhead) = swarm_traced_events_probe(quick, untraced);
+    probes.push(traced);
+    probes.push(overhead);
+    let (sharded, phases) = swarm_sharded_events_probe(quick);
+    probes.push(sharded);
+    probes.extend(phases);
     probes.push(swarm_peak_rss_probe());
 
+    let (_cfg, peers, blocks) = churned_swarm_config(quick);
+    let shards = std::env::var("ICD_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"symbols\",\n");
     json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str("  \"meta\": {\n");
+    json.push_str(&format!("    \"quick\": {quick},\n"));
+    json.push_str(&format!("    \"env_shards\": {shards},\n"));
+    json.push_str(&format!(
+        "    \"worker_threads\": {},\n",
+        icd_bench::engine::thread_count()
+    ));
+    json.push_str(&format!("    \"swarm_peers\": {peers},\n"));
+    json.push_str(&format!("    \"swarm_blocks\": {blocks}\n"));
+    json.push_str("  },\n");
     json.push_str("  \"metrics\": {\n");
     for (i, p) in probes.iter().enumerate() {
         let comma = if i + 1 == probes.len() { "" } else { "," };
@@ -100,7 +144,33 @@ fn main() {
     for p in &probes {
         println!("{:28} {:>12.3} {}  ({})", p.name, p.value, p.unit, p.detail);
     }
+    if let Some(previous) = previous {
+        println!("--- delta vs previous {out_path} ---");
+        for p in &probes {
+            match old_metric(&previous, p.name) {
+                Some(old) if old != 0.0 => {
+                    let pct = (p.value - old) / old * 100.0;
+                    println!(
+                        "DELTA {:28} {:>12.3} -> {:>12.3} ({pct:+.1}%)",
+                        p.name, old, p.value
+                    );
+                }
+                _ => println!("DELTA {:28} (new probe)", p.name),
+            }
+        }
+    }
     println!("wrote {out_path}");
+}
+
+/// Scans a previous baseline's JSON for `"name": { "value": N`. The
+/// format is our own hand-written flat shape, so a string scan is
+/// exact enough — a missing or malformed entry just reports `new`.
+fn old_metric(old: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let rest = &old[old.find(&key)? + key.len()..];
+    let rest = &rest[rest.find("\"value\":")? + "\"value\":".len()..];
+    let end = rest.find(',')?;
+    rest[..end].trim().parse().ok()
 }
 
 /// Best-of-`reps` wall time for `f`, in seconds.
@@ -382,30 +452,74 @@ fn churned_swarm_config(quick: bool) -> (icd_swarm::SwarmConfig, usize, usize) {
     (cfg, peers, blocks)
 }
 
+/// The churned-swarm probe with a trace recorder installed — the
+/// enabled-mode cost of the observability plane, paired with the
+/// derived `trace_overhead_pct` against the recorder-free number (the
+/// nightly lane greps the pair). Negative overhead is timing noise.
+fn swarm_traced_events_probe(quick: bool, untraced: f64) -> (Probe, Probe) {
+    let (cfg, _, blocks) = churned_swarm_config(quick);
+    let mut events = 0u64;
+    let mut roster = 0usize;
+    let mut records = 0usize;
+    let secs = best_of(if quick { 2 } else { 3 }, || {
+        let mut swarm = icd_swarm::Swarm::new(cfg.clone(), SEED ^ 13);
+        let tracer = TraceBuf::shared(1 << 22);
+        swarm.set_tracer(tracer.clone());
+        let out = swarm.run();
+        assert!(out.all_complete(), "traced swarm probe failed to complete");
+        events = out.events;
+        roster = out.peers;
+        records = tracer.borrow().len();
+    });
+    let traced = events as f64 / secs;
+    let probe = Probe {
+        name: "swarm_events_per_s_traced",
+        value: traced,
+        unit: "events/s",
+        detail: format!(
+            "{roster}-peer power-law(m=2) swarm, n={blocks}, 10% churn, \
+             {records} trace records captured"
+        ),
+    };
+    let overhead = Probe {
+        name: "trace_overhead_pct",
+        value: (untraced - traced) / untraced * 100.0,
+        unit: "%",
+        detail: "enabled-mode slowdown vs the recorder-free swarm probe".to_string(),
+    };
+    (probe, overhead)
+}
+
 /// `swarm_events_per_s` with the engine pinned to 8 worker shards —
 /// byte-identical outcome (asserted against the serial run), different
 /// executor. Diffing this against the single-shard number is the
 /// sharding speedup on this host; on single-core builders it can dip
 /// below 1× (windowed generate/commit passes without parallel hardware
-/// are pure overhead), which is itself worth tracking.
-fn swarm_sharded_events_probe(quick: bool) -> Probe {
+/// are pure overhead), which is itself worth tracking. A phase profiler
+/// rides the timed runs and reports where the executor's wall time
+/// goes: the parallel generate/commit scopes, the serial cross-shard
+/// merge, and the barrier-wait residue (scope wall minus the slowest
+/// shard's busy time).
+fn swarm_sharded_events_probe(quick: bool) -> (Probe, Vec<Probe>) {
     let (cfg, _, blocks) = churned_swarm_config(quick);
     let serial = {
         let mut swarm = icd_swarm::Swarm::new(cfg.clone(), SEED ^ 13);
         swarm.set_shards(1);
         swarm.run()
     };
+    let profile = PhaseProfile::shared();
     let mut events = 0u64;
     let mut roster = 0usize;
     let secs = best_of(if quick { 2 } else { 3 }, || {
         let mut swarm = icd_swarm::Swarm::new(cfg.clone(), SEED ^ 13);
         swarm.set_shards(8);
+        swarm.set_profiler(profile.clone());
         let out = swarm.run();
         assert_eq!(out, serial, "sharded probe diverged from serial outcome");
         events = out.events;
         roster = out.peers;
     });
-    Probe {
+    let probe = Probe {
         name: "swarm_events_per_s_sharded",
         value: events as f64 / secs,
         unit: "events/s",
@@ -413,7 +527,43 @@ fn swarm_sharded_events_probe(quick: bool) -> Probe {
             "{roster}-peer power-law(m=2) swarm, n={blocks}, 10% churn, 8 shards, \
              outcome equal to serial"
         ),
-    }
+    };
+    let prof = profile.borrow();
+    let generate = prof.total_ns("shard_generate");
+    let merge = prof.total_ns("shard_merge");
+    let commit = prof.total_ns("shard_commit");
+    let barrier = prof.total_ns("shard_generate_barrier") + prof.total_ns("shard_commit_barrier");
+    let total = (generate + merge + commit).max(1);
+    let share = |ns: u64, name: &'static str, detail: String| Probe {
+        name,
+        value: ns as f64 / total as f64 * 100.0,
+        unit: "%",
+        detail,
+    };
+    let windows = prof.get("shard_generate").map_or(0, |s| s.calls);
+    let phases = vec![
+        share(
+            generate,
+            "shard_generate_pct",
+            format!("parallel generate+probe scopes, {windows} windows"),
+        ),
+        share(
+            merge,
+            "shard_merge_pct",
+            "serial cross-shard cut + seq merge".to_string(),
+        ),
+        share(
+            commit,
+            "shard_commit_pct",
+            "parallel commit/rollback scopes".to_string(),
+        ),
+        share(
+            barrier,
+            "shard_barrier_pct",
+            "barrier-wait residue inside the parallel scopes".to_string(),
+        ),
+    ];
+    (probe, phases)
 }
 
 /// Peak resident set after every swarm probe has run — the "does the

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use icd_core::machine::{DriveError, WireStats};
 use icd_core::{PolicyKnobs, SessionConfig, WorkingSet};
+use icd_obs::{MetricsRegistry, SyncTraceHandle, TraceEvent};
 use icd_overlay::{session_machine_seeds, session_payload};
 use icd_swarm::{PeerId, SwarmEvent};
 
@@ -243,6 +244,13 @@ pub struct Node {
     /// to speculative transfers (see [`Self::stall_escalations`]).
     stalled: AtomicBool,
     escalations: AtomicU64,
+    /// Structured trace recorder. Records are stamped with the round
+    /// number (never wall-clock time); fetch threads share it, so the
+    /// interleaving of same-round records is scheduling-dependent —
+    /// unlike the engine's traces, which are fully deterministic.
+    trace: Option<SyncTraceHandle>,
+    /// Metrics sink for the per-node session counters.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Node {
@@ -327,7 +335,40 @@ impl Node {
             serve_ctx,
             stalled: AtomicBool::new(false),
             escalations: AtomicU64::new(0),
+            trace: None,
+            metrics: None,
         })
+    }
+
+    /// Installs a structured trace recorder. Fetch rounds record
+    /// per-session spans, redials after transient failures, and stall
+    /// escalations, each stamped with the round number.
+    pub fn set_trace(&mut self, trace: SyncTraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Installs a metrics sink: fetch-session and retry-ladder counters
+    /// accrue per round; [`Self::fill_metrics`] mirrors the serve-side
+    /// totals on demand.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Mirrors the node's cumulative health counters into the installed
+    /// metrics sink (no-op without one): `node_degraded_sessions`,
+    /// `node_stall_escalations`, and `node_round`.
+    pub fn fill_metrics(&self) {
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .gauge("node_degraded_sessions")
+                .set(self.degraded_sessions());
+            metrics
+                .gauge("node_stall_escalations")
+                .set(self.stall_escalations());
+            metrics
+                .gauge("node_round")
+                .set(u64::from(self.current_round()));
+        }
     }
 
     /// The bound listen address (real port when the config said 0).
@@ -468,6 +509,7 @@ impl Node {
                     write_timeout: self.config.write_timeout,
                     policy: self.config.retry,
                     escalate,
+                    trace: self.trace.clone(),
                 };
                 let shared = self.shared.clone();
                 std::thread::spawn(move || fetch_one(job, &shared))
@@ -479,6 +521,47 @@ impl Node {
             .collect();
         if escalate && !reports.is_empty() {
             self.escalations.fetch_add(1, Ordering::Relaxed);
+            if let Some(trace) = &self.trace {
+                trace.lock().expect("trace lock").push(
+                    u64::from(round),
+                    TraceEvent::StallEscalation {
+                        peer: self.config.id as u64,
+                        starved: self.escalations.load(Ordering::Relaxed),
+                    },
+                );
+            }
+            if let Some(metrics) = &self.metrics {
+                metrics.counter("node_stall_escalations").inc();
+            }
+        }
+        // Session spans land after the joins, in plan order — the trace
+        // is per-round reproducible even though the fetch threads
+        // themselves finish in scheduling order.
+        if let Some(trace) = &self.trace {
+            let mut buf = trace.lock().expect("trace lock");
+            for r in &reports {
+                buf.push(
+                    u64::from(round),
+                    TraceEvent::SessionSpan {
+                        from: r.from as u64,
+                        to: self.config.id as u64,
+                        round: u64::from(r.round),
+                        retries: u64::from(r.retries),
+                        ok: r.outcome.is_ok(),
+                    },
+                );
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .counter("node_fetch_sessions")
+                .add(reports.len() as u64);
+            metrics
+                .counter("node_fetch_failures")
+                .add(reports.iter().filter(|r| r.outcome.is_err()).count() as u64);
+            metrics
+                .counter("node_retries")
+                .add(reports.iter().map(|r| u64::from(r.retries)).sum());
         }
         let gained: u64 = reports
             .iter()
@@ -608,6 +691,8 @@ struct FetchJob {
     /// knobs so the sender streams recoded symbols instead of filtering
     /// through an approximate digest whose false positives are stuck.
     escalate: bool,
+    /// Shared trace recorder (redials are recorded as they happen).
+    trace: Option<SyncTraceHandle>,
 }
 
 /// Session seed for retry `attempt` (≥ 2) of a round fetch: distinct
@@ -719,6 +804,17 @@ fn fetch_one(job: FetchJob, shared: &SharedWorkingSet) -> FetchReport {
                 gained_total += gained;
                 if transient && job.policy.allows_retry(attempt) {
                     retries += 1;
+                    if let Some(trace) = &job.trace {
+                        trace.lock().expect("trace lock").push(
+                            u64::from(job.round),
+                            TraceEvent::Redial {
+                                from: job.id as u64,
+                                to: job.from as u64,
+                                round: u64::from(job.round),
+                                attempt: u64::from(attempt),
+                            },
+                        );
+                    }
                     std::thread::sleep(job.policy.backoff(attempt, job.link_seed));
                     attempt += 1;
                     continue;

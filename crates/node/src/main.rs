@@ -4,7 +4,8 @@
 //! icd-node --id 2 --spec seed=7,nodes=5,seeders=1,universe=80,share=30,payload=64,topo=ring2 \
 //!          [--listen 127.0.0.1:0] [--roster "0=127.0.0.1:4000 1=127.0.0.1:4001"] \
 //!          [--timeout-ms 30000] [--max-retries 2] [--harness] \
-//!          [--chaos-sever-dialer <id>]... [--chaos-sever-after 4]
+//!          [--chaos-sever-dialer <id>]... [--chaos-sever-after 4] \
+//!          [--metrics] [--trace-out PATH]
 //! ```
 //!
 //! Every process derives the identical distribution plan from `--spec`
@@ -17,6 +18,7 @@
 //!
 //! ```text
 //! ROSTER 0=addr 1=addr ...   replace the address book
+//! METRICS                    print the metrics snapshot (with --metrics)
 //! GO                         run current round's fetches, print FETCH*/DONE
 //! ROUND                      round barrier: freeze next round's snapshots
 //! EVENT LEAVE <id>           apply membership events to the roster
@@ -43,20 +45,32 @@
 //! swarm's per-link wire bytes exactly match the simulator, which
 //! freezes all snapshots at connect time.
 //!
+//! `--metrics` accumulates session/retry counters and prints one
+//! `METRICS {json}` line at shutdown (and on the `METRICS` harness
+//! command); `--trace-out PATH` records per-round session spans,
+//! redials, and stall escalations — stamped with round numbers, never
+//! wall-clock time — and writes them as JSONL on exit.
+//!
 //! The spec and roster can also come from `ICD_NODE_SPEC` /
 //! `ICD_NODE_ROSTER` environment variables (flags win).
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 use icd_node::daemon::parse_roster;
 use icd_node::{DaemonConfig, DistributionSpec, Node, Roster, RetryPolicy, ServeChaos};
+use icd_obs::{MetricsRegistry, TraceBuf};
 use icd_swarm::SwarmEvent;
 
 fn fatal(msg: &str) -> ! {
     eprintln!("icd-node: {msg}");
     std::process::exit(2);
 }
+
+/// Trace ring capacity: ample for any harness run (a few spans and
+/// redials per round), bounded so a runaway swarm cannot grow it.
+const TRACE_CAP: usize = 1 << 16;
 
 struct Args {
     id: usize,
@@ -68,6 +82,8 @@ struct Args {
     harness: bool,
     chaos_sever_dialers: Vec<u32>,
     chaos_sever_after: u64,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +96,8 @@ fn parse_args() -> Args {
     let mut harness = false;
     let mut chaos_sever_dialers = Vec::new();
     let mut chaos_sever_after = 4;
+    let mut metrics = false;
+    let mut trace_out = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,6 +123,8 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fatal("bad --max-retries"));
             }
             "--harness" => harness = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             "--chaos-sever-dialer" => {
                 chaos_sever_dialers.push(
                     value("--chaos-sever-dialer")
@@ -141,6 +161,8 @@ fn parse_args() -> Args {
         harness,
         chaos_sever_dialers,
         chaos_sever_after,
+        metrics,
+        trace_out,
     }
 }
 
@@ -228,6 +250,17 @@ fn main() {
         chaos,
     };
     let mut node = Node::start(config).unwrap_or_else(|e| fatal(&format!("bind failed: {e}")));
+    let registry = args.metrics.then(MetricsRegistry::shared);
+    if let Some(registry) = &registry {
+        node.set_metrics(Arc::clone(registry));
+    }
+    let trace = args
+        .trace_out
+        .is_some()
+        .then(|| TraceBuf::shared_sync(TRACE_CAP));
+    if let Some(trace) = &trace {
+        node.set_trace(Arc::clone(trace));
+    }
     println!("LISTEN {}", node.local_addr());
     std::io::stdout().flush().expect("stdout");
 
@@ -270,6 +303,13 @@ fn main() {
                     u8::from(shared.is_complete())
                 );
             }
+            ["METRICS"] => match &registry {
+                Some(registry) => {
+                    node.fill_metrics();
+                    println!("METRICS {}", registry.snapshot().to_json());
+                }
+                None => println!("METRICS-ERR not-enabled"),
+            },
             ["ROSTER", rest @ ..] => match parse_roster(&rest.join(" "), args.spec.nodes) {
                 Ok(r) => {
                     roster = r;
@@ -283,4 +323,15 @@ fn main() {
         std::io::stdout().flush().expect("stdout");
     }
     node.stop();
+    if let Some(registry) = &registry {
+        node.fill_metrics();
+        println!("METRICS {}", registry.snapshot().to_json());
+        std::io::stdout().flush().expect("stdout");
+    }
+    if let (Some(path), Some(trace)) = (&args.trace_out, &trace) {
+        let jsonl = trace.lock().expect("trace lock").to_jsonl();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("icd-node: writing trace to {path}: {e}");
+        }
+    }
 }

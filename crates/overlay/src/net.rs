@@ -38,6 +38,7 @@ use bytes::Bytes;
 use icd_core::machine::{ReceiverMachine, SenderMachine, SessionAction, SessionEvent};
 use icd_core::{SessionConfig, TransferPlan, WorkingSet};
 use icd_fountain::EncodedSymbol;
+use icd_obs::{ProfileHandle, TraceEvent, TraceHandle};
 use icd_sketch::{MinwiseSketch, PermutationFamily};
 use icd_summary::{DiffEstimate, SummaryId, SummaryRegistry, SummarySizing};
 use icd_util::hash::mix64;
@@ -565,6 +566,14 @@ pub struct OverlayNet<'s> {
     /// Observer invoked with every frame that takes a send slot, as the
     /// exact bytes `write_frame_buf` produces — the frame-parity seam.
     frame_tap: Option<FrameTap<'s>>,
+    /// Deterministic structured trace recorder ([`OverlayNet::set_tracer`]).
+    /// Unlike the frame tap it does NOT disqualify sharding: the shard
+    /// executor replays committed sends through a deterministic merge,
+    /// so traces are byte-identical at any shard count.
+    tracer: Option<TraceHandle>,
+    /// Wall-clock phase profiler for the sharded executor — strictly
+    /// outside the parity domain ([`OverlayNet::set_profiler`]).
+    profiler: Option<ProfileHandle>,
     /// Reusable encode buffer for tapped packet-link frames.
     tap_frame: Vec<u8>,
     /// Shared zeroed payload for tapped packet-link frames (lengths are
@@ -623,6 +632,8 @@ impl<'s> OverlayNet<'s> {
             seed,
             payload_bytes: PACKET_BYTES,
             frame_tap: None,
+            tracer: None,
+            profiler: None,
             tap_frame: Vec::new(),
             tap_payload: Bytes::new(),
             shards: shards_from_env(),
@@ -687,6 +698,37 @@ impl<'s> OverlayNet<'s> {
     /// Removes the frame tap installed by [`OverlayNet::set_frame_tap`].
     pub fn clear_frame_tap(&mut self) {
         self.frame_tap = None;
+    }
+
+    /// Installs a deterministic trace recorder. Every record is stamped
+    /// with the engine clock and a push-assigned sequence number only —
+    /// never wall time — so the exported JSONL is a parity artifact: a
+    /// serial run and an `ICD_SHARDS=N` run of the same scenario emit
+    /// **byte-identical** traces (the sharded executor replays its
+    /// committed send log through the same deterministic `(tick, link)`
+    /// merge that assigns packet sequence numbers). The send path pays
+    /// one `Option` check while no tracer is installed.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the recorder installed by [`OverlayNet::set_tracer`].
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Installs a wall-clock phase profiler. Only the sharded executor
+    /// records into it (generate/merge/commit scope times and the
+    /// barrier-wait residue); measurements never feed back into
+    /// outcomes or traces — profiling lives strictly outside the
+    /// parity domain.
+    pub fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Removes the profiler installed by [`OverlayNet::set_profiler`].
+    pub fn clear_profiler(&mut self) {
+        self.profiler = None;
     }
 
     // ------------------------------------------------------------------
@@ -862,6 +904,18 @@ impl<'s> OverlayNet<'s> {
         let summary = handshake.summary.as_ref().map(|(id, _)| *id);
         let handshake_bytes = handshake.summary_bytes();
         let control_bytes = control_plane_bytes(&handshake, sender_card.is_some());
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(
+                self.now,
+                TraceEvent::SummaryExchanged {
+                    from: from.0 as u64,
+                    to: to.0 as u64,
+                    summary: summary.map_or(0, |s| u64::from(s.0)),
+                    handshake_bytes: handshake_bytes as u64,
+                    control_bytes,
+                },
+            );
+        }
         Ok(self.install_link(
             from,
             to,
@@ -1005,6 +1059,11 @@ impl<'s> OverlayNet<'s> {
         self.nodes[from.0].out_links.retain(|&l| l != link);
         self.nodes[to.0].in_links.retain(|&l| l != link);
         // The link's send-calendar entry is purged lazily.
+        if let Some(tracer) = &self.tracer {
+            tracer
+                .borrow_mut()
+                .push(self.now, TraceEvent::LinkDown { link: link.0 as u64 });
+        }
     }
 
     /// Tears down every live link touching `node` (both directions) —
@@ -1067,6 +1126,16 @@ impl<'s> OverlayNet<'s> {
         self.nodes[from.0].out_links.push(id);
         self.nodes[to.0].in_links.push(id);
         self.send_queue.push(Reverse((next_send, id.0 as u32)));
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(
+                self.now,
+                TraceEvent::LinkUp {
+                    link: id.0 as u64,
+                    from: from.0 as u64,
+                    to: to.0 as u64,
+                },
+            );
+        }
         id
     }
 
@@ -1315,6 +1384,18 @@ impl<'s> OverlayNet<'s> {
         // Re-book the send cadence before delivery so an early Completed
         // return leaves the calendar consistent for resumed runs.
         self.send_queue.push(Reverse((next_send, l.0 as u32)));
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(
+                self.now,
+                TraceEvent::LinkSend {
+                    link: l.0 as u64,
+                    recoded: self.scratch.is_recoded(),
+                    lost,
+                    components: self.scratch.ids().len() as u64,
+                    frame_len,
+                },
+            );
+        }
         if self.frame_tap.is_some() {
             self.tap_scratch_frame(l, frame_len);
         }
@@ -1447,6 +1528,15 @@ impl<'s> OverlayNet<'s> {
         {
             *packets_sent += 1;
             *bytes_sent += frame.len() as u64;
+            if let Some(tracer) = &self.tracer {
+                tracer.borrow_mut().push(
+                    now,
+                    TraceEvent::SessionFrame {
+                        link: l.0 as u64,
+                        frame_len: frame.len() as u64,
+                    },
+                );
+            }
             if let Some(tap) = self.frame_tap.as_mut() {
                 (tap.0)(l, &frame);
             }
@@ -1850,11 +1940,29 @@ pub fn run_mesh_download(
     recode: bool,
     seed: u64,
 ) -> MeshOutcome {
+    run_mesh_download_with(params, k, correlation, profiles, recode, seed, |_| {})
+}
+
+/// [`run_mesh_download`] with an observability hook: `setup` runs on the
+/// freshly built engine before any links are connected, so a tracer or
+/// profiler installed there sees the connect-time control-plane events
+/// (`summary_exchanged`, `link_up`) as well as the data plane.
+#[must_use]
+pub fn run_mesh_download_with(
+    params: &ScenarioParams,
+    k: usize,
+    correlation: f64,
+    profiles: &[Link],
+    recode: bool,
+    seed: u64,
+    setup: impl FnOnce(&mut OverlayNet),
+) -> MeshOutcome {
     assert!(k >= 1, "need at least one neighbor");
     assert!(!profiles.is_empty(), "need at least one link profile");
     let scenario = MultiSenderScenario::build(params, k, correlation);
     let mut seeds = SplitMix64::new(seed);
     let mut net = OverlayNet::new(seed);
+    setup(&mut net);
     let receiver = net.add_node(&scenario.receiver_set, scenario.target);
     net.set_observer(receiver, true);
     let seeders: Vec<NodeId> = scenario

@@ -82,7 +82,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::Range;
+use std::time::Instant;
 
+use icd_obs::{ProfileHandle, TraceEvent, TraceHandle};
 use icd_util::partition::{balanced_ranges, owner_of};
 use icd_util::rng::{Rng64, Xoshiro256StarStar};
 use icd_wire::{encoded_symbol_frame_len, recoded_symbol_frame_len};
@@ -315,6 +317,10 @@ struct ShardState {
     window_events: u64,
     window_max_time: Time,
     scratch: PacketScratch,
+    /// Wall-clock busy time of this shard's last generate/commit pass,
+    /// measured only when a profiler is installed. Performance
+    /// telemetry only — never part of any deterministic output.
+    busy_ns: u64,
 }
 
 impl ShardState {
@@ -666,6 +672,7 @@ pub(super) fn run_sharded(net: &mut OverlayNet<'_>, limit: RunLimit) -> StopReas
             window_events: 0,
             window_max_time: 0,
             scratch: PacketScratch::new(),
+            busy_ns: 0,
         })
         .collect();
     for (gid, link) in net.links.iter_mut().enumerate() {
@@ -737,6 +744,12 @@ pub(super) fn run_sharded(net: &mut OverlayNet<'_>, limit: RunLimit) -> StopReas
     let mut seq = net.seq;
     let mut events = net.events_processed;
     let mut incomplete = net.incomplete_observers;
+    let tracer = net.tracer.clone();
+    // Wall-clock phase profiling (outside the parity domain): scope
+    // walls on the main thread, per-shard busy time in the workers; the
+    // barrier residue is wall minus the slowest shard's busy time.
+    let profiler = net.profiler.clone();
+    let profiling = profiler.is_some();
 
     let stop = loop {
         let Some(t0) = shards.iter().filter_map(ShardState::next_time).min() else {
@@ -764,18 +777,27 @@ pub(super) fn run_sharded(net: &mut OverlayNet<'_>, limit: RunLimit) -> StopReas
         t1 = t1.min(limit.max_ticks.saturating_add(1));
 
         // Phases 1+2: generate and probe, one worker per shard.
+        let phase_start = profiling.then(Instant::now);
         std::thread::scope(|scope| {
             let link_to = &link_to;
             let link_alive = &link_alive;
             let link_pos = &link_pos;
             for (shard, slice) in shards.iter_mut().zip(split_ranges(&mut nodes, &ranges)) {
                 scope.spawn(move || {
+                    let busy = profiling.then(Instant::now);
                     shard.generate(t1, slice, link_to, link_alive, link_pos, payload_bytes);
+                    if let Some(busy) = busy {
+                        shard.busy_ns = busy.elapsed().as_nanos() as u64;
+                    }
                 });
             }
         });
+        if let (Some(start), Some(prof)) = (phase_start, &profiler) {
+            record_scope(prof, "shard_generate", "shard_generate_barrier", start, &shards);
+        }
 
         // Phase 3 (main thread): agree on the cut.
+        let phase_start = profiling.then(Instant::now);
         let total_incomplete: usize = shards.iter().map(|s| s.incomplete).sum();
         debug_assert_eq!(total_incomplete, incomplete, "observer accounting drift");
         let finite: usize = shards.iter().map(|s| s.kns.len()).sum();
@@ -789,16 +811,38 @@ pub(super) fn run_sharded(net: &mut OverlayNet<'_>, limit: RunLimit) -> StopReas
             KEY_MAX
         };
         merge_and_assign_seqs(&mut shards, t1, k, &mut seq);
+        if let (Some(start), Some(prof)) = (phase_start, &profiler) {
+            prof.borrow_mut()
+                .record("shard_merge", start.elapsed().as_nanos() as u64);
+        }
 
         // Phase 4: commit, one worker per shard.
+        let phase_start = profiling.then(Instant::now);
         std::thread::scope(|scope| {
             let link_pos = &link_pos;
             for (shard, slice) in shards.iter_mut().zip(split_ranges(&mut nodes, &ranges)) {
                 scope.spawn(move || {
+                    let busy = profiling.then(Instant::now);
                     shard.commit(k, slice, link_pos, payload_bytes);
+                    if let Some(busy) = busy {
+                        shard.busy_ns = busy.elapsed().as_nanos() as u64;
+                    }
                 });
             }
         });
+        if let (Some(start), Some(prof)) = (phase_start, &profiler) {
+            record_scope(prof, "shard_commit", "shard_commit_barrier", start, &shards);
+        }
+
+        // Replay the window's committed sends into the trace in global
+        // `(tick, link)` order — exactly the order the serial engine
+        // emitted them — so traces stay byte-identical at any shard
+        // count. Rolled-back sends (key > K) never happened serially
+        // and are skipped; so are exhaustion discoveries, which the
+        // serial path does not trace either.
+        if let Some(tracer) = &tracer {
+            emit_window_trace(tracer, &shards, k);
+        }
 
         events += shards.iter().map(|s| s.window_events).sum::<u64>();
         incomplete -= finite;
@@ -938,5 +982,83 @@ fn merge_and_assign_seqs(shards: &mut [ShardState], t1: Time, k: GKey, seq: &mut
             recoded,
             ids: shard.arena[ids.start as usize..ids.end as usize].to_vec(),
         }));
+    }
+}
+
+/// Records one parallel scope into the profiler: the scope's wall time
+/// under `phase`, and the barrier residue — wall minus the slowest
+/// shard's busy time — under `barrier`. The residue is what the main
+/// thread spent waiting on thread startup and imbalance rather than on
+/// shard work itself.
+fn record_scope(
+    prof: &ProfileHandle,
+    phase: &'static str,
+    barrier: &'static str,
+    start: Instant,
+    shards: &[ShardState],
+) {
+    let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let busy = shards.iter().map(|s| s.busy_ns).max().unwrap_or(0);
+    let mut prof = prof.borrow_mut();
+    prof.record(phase, wall);
+    prof.record(barrier, wall.saturating_sub(busy));
+}
+
+/// Replays the window's committed sends into the trace in global
+/// `(send tick, link)` order — the same k-way merge as
+/// [`merge_and_assign_seqs`], but over *every* committed packet record
+/// (lost and zero-latency sends included: the serial engine traces
+/// those too, since they consume send slots). Rolled-back records
+/// (key > K) and exhaustion discoveries are excluded, matching what
+/// the serial path would have emitted tick for tick.
+fn emit_window_trace(tracer: &TraceHandle, shards: &[ShardState], k: GKey) {
+    let eligible: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|s| {
+            s.recs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.key() <= k && matches!(r.kind, RecKind::Packet { .. }))
+                .map(|(i, _)| u32::try_from(i).expect("rec overflow"))
+                .collect()
+        })
+        .collect();
+    let mut cursors = vec![0usize; shards.len()];
+    let mut buf = tracer.borrow_mut();
+    loop {
+        let mut best: Option<(Time, u32, usize)> = None;
+        for (s, list) in eligible.iter().enumerate() {
+            if let Some(&ri) = list.get(cursors[s]) {
+                let rec = &shards[s].recs[ri as usize];
+                let cand = (rec.time, rec.gid, s);
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let Some((_, _, s)) = best else { break };
+        let ri = eligible[s][cursors[s]];
+        cursors[s] += 1;
+        let rec = &shards[s].recs[ri as usize];
+        let RecKind::Packet {
+            recoded,
+            lost,
+            frame_len,
+            ref ids,
+            ..
+        } = rec.kind
+        else {
+            unreachable!("eligible records are packets")
+        };
+        buf.push(
+            rec.time,
+            TraceEvent::LinkSend {
+                link: u64::from(rec.gid),
+                recoded,
+                lost,
+                components: u64::from(ids.end - ids.start),
+                frame_len,
+            },
+        );
     }
 }

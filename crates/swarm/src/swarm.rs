@@ -25,6 +25,9 @@
 //!   peers (the self-healing behaviour an adaptive overlay needs to
 //!   survive churn at all).
 
+use std::sync::Arc;
+
+use icd_obs::{MetricsRegistry, ProfileHandle, TraceEvent, TraceHandle};
 use icd_overlay::net::{ConnectSpec, Link, NodeId, OverlayNet, RunLimit, StopReason, Time};
 use icd_overlay::scenario::ScenarioParams;
 use icd_overlay::strategy::StrategyKind;
@@ -331,6 +334,13 @@ pub struct Swarm {
     faults_applied: u32,
     /// Connections ever created (cycles the link profiles).
     links_created: usize,
+    /// Structured trace recorder, forwarded to the engine. Stamped with
+    /// sim time only — installing one never perturbs an outcome.
+    tracer: Option<TraceHandle>,
+    /// Metrics sink for the swarm-level counters and gauges.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Maintenance rounds run so far (traced as `round_start`).
+    rounds: u64,
 }
 
 /// Consecutive stagnant maintenance passes after which rebuilt links
@@ -416,6 +426,9 @@ impl Swarm {
             retries: 0,
             faults_applied: 0,
             links_created: 0,
+            tracer: None,
+            metrics: None,
+            rounds: 0,
             pool,
             inventory_scratch,
             target,
@@ -451,6 +464,62 @@ impl Swarm {
     /// is executed.
     pub fn set_shards(&mut self, shards: usize) {
         self.net.set_shards(shards);
+    }
+
+    /// Installs a structured trace recorder on the swarm and its
+    /// engine. Records are stamped with sim time and a deterministic
+    /// sequence number only, so the trace of a `(config, seed)` run is
+    /// byte-identical at every shard and thread count.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.net.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the trace recorder installed by [`Swarm::set_tracer`].
+    pub fn clear_tracer(&mut self) {
+        self.net.clear_tracer();
+        self.tracer = None;
+    }
+
+    /// Installs a wall-clock phase profiler on the engine: the sharded
+    /// executor records its generate/merge/commit scope walls and the
+    /// barrier-wait residue. Strictly outside the parity domain —
+    /// nothing it measures feeds back into outcomes or traces.
+    pub fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.net.set_profiler(profiler);
+    }
+
+    /// Installs a metrics sink. Swarm-level counters (rounds, stall
+    /// escalations, applied faults) accrue as the run progresses;
+    /// outcome mirrors land as gauges when [`Swarm::run`] finishes.
+    /// Also publishes `swarm_sampling_scratch_bytes_saved`: the bytes
+    /// the pool-universe bitmap scratch saves per inventory sample over
+    /// the hashed set it replaced.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        // The hashed set held 8-byte ids at ~7/8 load in power-of-two
+        // buckets of ~9 bytes each (value + control byte); the bitmap
+        // holds one bit per pool symbol.
+        let hashed = (self.pool.len() * 8 / 7).next_power_of_two() * 9;
+        let saved = hashed.saturating_sub(self.inventory_scratch.memory_bytes());
+        metrics
+            .gauge("swarm_sampling_scratch_bytes_saved")
+            .set(saved as u64);
+        self.metrics = Some(metrics);
+    }
+
+    /// Pushes `event` onto the installed tracer (if any) at the current
+    /// engine tick.
+    fn trace(&self, event: TraceEvent) {
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(self.net.now(), event);
+        }
+    }
+
+    /// Bumps a named counter on the installed metrics sink (if any).
+    fn count(&self, name: &str) {
+        if let Some(metrics) = &self.metrics {
+            metrics.counter(name).inc();
+        }
     }
 
     /// Adds a peer to the roster: full pool for seeds, otherwise the
@@ -601,6 +670,21 @@ impl Swarm {
     /// membership/link streams — a faulty run is still a pure function
     /// of `(config, seed)`, and a fault-free run never gets here.
     fn apply_fault(&mut self, event: FaultEvent) {
+        let before = self.faults_applied;
+        self.apply_fault_inner(event);
+        // Only faults that actually landed are traced and counted — a
+        // crash aimed at an already-absent peer is a no-op, not a fault.
+        if self.faults_applied > before {
+            let (fault, peer) = fault_label(event);
+            self.trace(TraceEvent::FaultApplied {
+                fault: fault.to_string(),
+                peer: peer as u64,
+            });
+            self.count("swarm_faults_applied");
+        }
+    }
+
+    fn apply_fault_inner(&mut self, event: FaultEvent) {
         match event {
             // A crash is a leave nobody announced: same teardown, but
             // booked on the fault counters, and the working set survives
@@ -765,6 +849,9 @@ impl Swarm {
     /// adopts fresh senders — the adaptive re-reconciliation round a
     /// real swarm runs. Returns the number of links (re)built.
     fn refresh_pass(&mut self) -> u64 {
+        self.trace(TraceEvent::RoundStart { round: self.rounds });
+        self.rounds += 1;
+        self.count("swarm_rounds");
         let mut rebuilt = 0u64;
         for p in 0..self.peers.len() {
             if !self.peers[p].present {
@@ -800,6 +887,11 @@ impl Swarm {
                 let width = self.cfg.attach_degree << starved.min(5);
                 let mut sources = self.sample_present(width, p);
                 if starved >= LAST_RESORT_STARVATION {
+                    self.trace(TraceEvent::StallEscalation {
+                        peer: p as u64,
+                        starved: u64::from(starved),
+                    });
+                    self.count("swarm_stall_escalations");
                     // Origin fallback: the seed peers hold the full
                     // pool, and their last-resort links recode over it.
                     for s in 0..self.cfg.seed_peers {
@@ -909,6 +1001,20 @@ impl Swarm {
             .filter(|p| self.net.node_complete(p.node))
             .count();
         let packets = self.net.packets_from_partial() + self.net.packets_from_full();
+        if let Some(metrics) = &self.metrics {
+            metrics.gauge("swarm_completed_peers").set(completed as u64);
+            metrics.gauge("swarm_roster_peers").set(self.peers.len() as u64);
+            metrics.gauge("swarm_ticks").set(self.net.now());
+            metrics.gauge("swarm_events").set(self.net.events_processed());
+            metrics.gauge("swarm_packets").set(packets);
+            metrics
+                .gauge("swarm_wire_bytes")
+                .set(self.net.wire_bytes_sent() + self.net.control_wire_bytes());
+            metrics
+                .gauge("swarm_reconnects")
+                .set(self.reconnects);
+            metrics.gauge("swarm_retries").set(self.retries);
+        }
         SwarmOutcome {
             peers: self.peers.len(),
             completed,
@@ -933,6 +1039,19 @@ impl Swarm {
             unapplied_events: (self.schedule.len() - self.next_event) as u32,
             stop,
         }
+    }
+}
+
+/// The trace label and victim peer of a fault event.
+fn fault_label(event: FaultEvent) -> (&'static str, PeerId) {
+    match event {
+        FaultEvent::Crash(p) => ("crash", p),
+        FaultEvent::Restart(p) => ("restart", p),
+        FaultEvent::CutLink(p) => ("cut_link", p),
+        FaultEvent::StallStart(p) => ("stall_start", p),
+        FaultEvent::StallEnd(p) => ("stall_end", p),
+        FaultEvent::TruncateFrame(p) => ("truncate_frame", p),
+        FaultEvent::RateCollapse(p) => ("rate_collapse", p),
     }
 }
 
